@@ -1,0 +1,527 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablation benches for the design choices called
+// out in DESIGN.md. Metrics beyond ns/op are attached with b.ReportMetric
+// (imbalance ratios, overhead per MB, iteration counts), so the bench
+// output doubles as the experiment record.
+package gridse_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/contingency"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/medici"
+	"repro/internal/partition"
+	"repro/internal/powerflow"
+	"repro/internal/wls"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixture118  *experiments.Fixture
+	fixtureErr  error
+)
+
+func benchFixture(b *testing.B) *experiments.Fixture {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixture118, fixtureErr = experiments.NewFixture(9, 1.0, 1)
+	})
+	if fixtureErr != nil {
+		b.Fatalf("fixture: %v", fixtureErr)
+	}
+	return fixture118
+}
+
+// BenchmarkTable1Decomposition regenerates Table I: decomposing IEEE-118
+// into 9 subsystems and building the weighted decomposition graph.
+func BenchmarkTable1Decomposition(b *testing.B) {
+	n := grid.Case118()
+	for i := 0; i < b.N; i++ {
+		dec, err := core.Decompose(n, 9, core.DecomposeOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := experiments.RunTable1(&experiments.Fixture{Net: n, Dec: dec})
+		if len(t.VertexWeights) != 9 {
+			b.Fatal("wrong table shape")
+		}
+	}
+}
+
+// BenchmarkTable2Mapping regenerates Table II: naive vs cost-model mapping
+// bus counts per cluster. Reports both imbalances.
+func BenchmarkTable2Mapping(b *testing.B) {
+	fx := benchFixture(b)
+	var t experiments.Table2
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = experiments.RunTable2(fx, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(imbalanceOf(t.WithoutMapping), "imbalance-naive")
+	b.ReportMetric(imbalanceOf(t.WithMapping), "imbalance-mapped")
+}
+
+func imbalanceOf(buses []int) float64 {
+	total, maxB := 0, 0
+	for _, x := range buses {
+		total += x
+		if x > maxB {
+			maxB = x
+		}
+	}
+	return float64(maxB) / (float64(total) / float64(len(buses)))
+}
+
+// BenchmarkTable3MediciLocal regenerates Table III: direct-TCP vs
+// through-middleware transfer on loopback. Sub-benchmarks per payload size;
+// the per-size overhead is reported as ms.
+func BenchmarkTable3MediciLocal(b *testing.B) {
+	for _, sz := range []int{1 << 20, 4 << 20, 16 << 20} {
+		b.Run(sizeName(sz), func(b *testing.B) {
+			var last medici.OverheadSample
+			for i := 0; i < b.N; i++ {
+				s, err := medici.MeasureOverhead(nil, sz, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s
+			}
+			b.SetBytes(int64(sz))
+			b.ReportMetric(last.Overhead.Seconds()*1e3, "overhead-ms")
+		})
+	}
+}
+
+// BenchmarkTable4MediciRemote regenerates Table IV on the shaped
+// lab-network profile.
+func BenchmarkTable4MediciRemote(b *testing.B) {
+	tr := cluster.NewShapedTransport(cluster.LabNetworkProfile(), nil)
+	for _, sz := range []int{1 << 20, 4 << 20} {
+		b.Run(sizeName(sz), func(b *testing.B) {
+			var last medici.OverheadSample
+			for i := 0; i < b.N; i++ {
+				s, err := medici.MeasureOverhead(tr, sz, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s
+			}
+			b.SetBytes(int64(sz))
+			b.ReportMetric(last.Overhead.Seconds()*1e3, "overhead-ms")
+		})
+	}
+}
+
+func sizeName(sz int) string {
+	switch {
+	case sz >= 1<<20:
+		return itoa(sz>>20) + "MiB"
+	default:
+		return itoa(sz) + "B"
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkFig4PartitionStep1 regenerates Figure 4 and reports the
+// load-imbalance ratio (paper: 1.035).
+func BenchmarkFig4PartitionStep1(b *testing.B) {
+	fx := benchFixture(b)
+	var f experiments.MappingFigure
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = experiments.RunFig4(fx, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.Imbalance, "imbalance")
+}
+
+// BenchmarkFig5RepartitionStep2 regenerates Figure 5 and reports the
+// post-repartition imbalance (paper: 1.079) and migration count (paper: 2).
+func BenchmarkFig5RepartitionStep2(b *testing.B) {
+	fx := benchFixture(b)
+	var f experiments.MappingFigure
+	var err error
+	for i := 0; i < b.N; i++ {
+		f, err = experiments.RunFig5(fx, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.Imbalance, "imbalance")
+	b.ReportMetric(float64(len(f.Migrated)), "migrations")
+}
+
+// BenchmarkFig8OverheadLinearity regenerates Figure 8's series and reports
+// the overhead-per-MB slope at two sizes — a linear trend gives similar
+// values (the paper's key observation).
+func BenchmarkFig8OverheadLinearity(b *testing.B) {
+	var small, large medici.OverheadSample
+	for i := 0; i < b.N; i++ {
+		var err error
+		small, err = medici.MeasureOverhead(nil, 2<<20, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		large, err = medici.MeasureOverhead(nil, 16<<20, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(small.Overhead.Seconds()*1e3/2, "ms-per-MiB-small")
+	b.ReportMetric(large.Overhead.Seconds()*1e3/16, "ms-per-MiB-large")
+}
+
+// BenchmarkExpr2IterationModel regenerates the Expression (2) calibration
+// and reports the fitted g1/g2 (paper: 3.7579 / 5.2464 on their testbed).
+func BenchmarkExpr2IterationModel(b *testing.B) {
+	var fit experiments.Expr2Fit
+	var err error
+	for i := 0; i < b.N; i++ {
+		fit, err = experiments.RunExpr2([]float64{1, 2, 3, 4}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fit.G1, "g1")
+	b.ReportMetric(fit.G2, "g2")
+}
+
+// BenchmarkEndToEndDSE regenerates the headline comparison: the full
+// distributed architecture run (map -> step1 -> remap -> exchange ->
+// step2 -> aggregate) on the 3-cluster testbed.
+func BenchmarkEndToEndDSE(b *testing.B) {
+	fx := benchFixture(b)
+	var e experiments.EndToEnd
+	var err error
+	for i := 0; i < b.N; i++ {
+		e, err = experiments.RunEndToEnd(fx, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(e.CentralizedTime.Seconds()*1e3, "centralized-ms")
+	b.ReportMetric(e.DistributedTime.Seconds()*1e3, "distributed-ms")
+	b.ReportMetric(float64(e.WireBytes), "wire-bytes")
+}
+
+// BenchmarkCentralizedWLS118 is the baseline the paper compares against:
+// one full-system WLS solve on IEEE-118.
+func BenchmarkCentralizedWLS118(b *testing.B) {
+	fx := benchFixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerFlow118 times the ground-truth generator.
+func BenchmarkPowerFlow118(b *testing.B) {
+	n := grid.Case118()
+	for i := 0; i < b.N; i++ {
+		if _, err := powerflow.Solve(n, powerflow.Options{FlatStart: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkAblationPreconditioner compares gain-solve preconditioners on
+// the full IEEE-118 estimation.
+func BenchmarkAblationPreconditioner(b *testing.B) {
+	fx := benchFixture(b)
+	precs := []struct {
+		name string
+		kind wls.PrecondKind
+	}{
+		{"none", wls.PrecondNone},
+		{"jacobi", wls.PrecondJacobi},
+		{"ic0", wls.PrecondIC0},
+		{"ssor", wls.PrecondSSOR},
+	}
+	for _, p := range precs {
+		b.Run(p.name, func(b *testing.B) {
+			var cg int
+			for i := 0; i < b.N; i++ {
+				res, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{Precond: p.kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cg = res.CGIterations
+			}
+			b.ReportMetric(float64(cg), "cg-iters")
+		})
+	}
+}
+
+// BenchmarkAblationSolver compares the three WLS solution paths on the
+// full IEEE-118 estimation: PCG normal equations (the paper's solver),
+// dense LU normal equations, and Givens QR.
+func BenchmarkAblationSolver(b *testing.B) {
+	fx := benchFixture(b)
+	for _, s := range []struct {
+		name string
+		kind wls.SolverKind
+	}{{"pcg", wls.PCG}, {"dense", wls.Dense}, {"qr", wls.QR}} {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{Solver: s.kind}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWorkers sweeps the parallel mat-vec width of the PCG
+// solver (the paper's parallel SE code dimension).
+func BenchmarkAblationWorkers(b *testing.B) {
+	fx := benchFixture(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("workers-"+itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMapping compares the end-to-end distributed run with the
+// cost-model mapping vs the naive contiguous assignment (Table II's
+// motivation).
+func BenchmarkAblationMapping(b *testing.B) {
+	fx := benchFixture(b)
+	for _, mode := range []struct {
+		name      string
+		noMapping bool
+	}{{"mapped", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var imb float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunDistributed(fx.Dec, fx.Meas, core.DistributedOptions{
+					Clusters: 3, NoMapping: mode.noMapping,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				imb = res.Step1Mapping.Imbalance
+			}
+			b.ReportMetric(imb, "imbalance")
+		})
+	}
+}
+
+// BenchmarkAblationSensitivity sweeps the sensitive-internal-bus radius:
+// larger radii exchange more state (bytes) for better Step-2 anchoring.
+func BenchmarkAblationSensitivity(b *testing.B) {
+	n := grid.Case118()
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, radius := range []int{1, 2, 3} {
+		b.Run("radius-"+itoa(radius), func(b *testing.B) {
+			dec, err := core.Decompose(n, 9, core.DecomposeOptions{Seed: 1, SensitivityRadius: radius})
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan := meas.FullPlan().Build(n)
+			plan = append(plan, core.PMUPlanFor(dec, plan, 0.0005)...)
+			ms, err := meas.Simulate(n, plan, pf.State, 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunDSE(dec, ms, core.DSEOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = res.ExchangeBytes
+			}
+			b.ReportMetric(float64(bytes), "exchange-bytes")
+		})
+	}
+}
+
+// BenchmarkAblationSiteScheduling compares sequential vs gang-scheduled
+// estimation jobs on one site.
+func BenchmarkAblationSiteScheduling(b *testing.B) {
+	fx := benchFixture(b)
+	var jobs []cluster.EstimationJob
+	for si := range fx.Dec.Subsystems {
+		sp, err := fx.Dec.BuildStep1(si, fx.Meas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, cluster.EstimationJob{ID: si, Model: sp.Model})
+	}
+	tb, err := cluster.NewTestbed(1, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tb.Close()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range tb.Sites[0].RunJobs(jobs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range tb.Sites[0].RunJobsConcurrent(jobs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkRoundsStudy regenerates the Step-2 convergence study and
+// reports the boundary RMS after 1 round and after diameter rounds.
+func BenchmarkRoundsStudy(b *testing.B) {
+	fx := benchFixture(b)
+	var pts []experiments.RoundsPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.RunRoundsStudy(fx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].BoundaryRMSVa*1e6, "round1-rms-microrad")
+	b.ReportMetric(pts[len(pts)-1].BoundaryRMSVa*1e6, "final-rms-microrad")
+}
+
+// BenchmarkWECCScaleDSE runs the full DSE flow on multi-area synthetic
+// interconnections — the paper's WECC ongoing-work scenario.
+func BenchmarkWECCScaleDSE(b *testing.B) {
+	for _, areas := range []int{4, 12} {
+		b.Run("areas-"+itoa(areas), func(b *testing.B) {
+			n, err := grid.SynthWECC(grid.SynthOptions{Areas: areas, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true, MaxIter: 40})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec, err := core.DecomposeWithParts(n, areas, grid.AreaParts(n), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan := meas.FullPlan().Build(n)
+			plan = append(plan, core.PMUPlanFor(dec, plan, 0.0005)...)
+			ms, err := meas.Simulate(n, plan, pf.State, 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunDSE(dec, ms, core.DSEOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFastDecoupledVsNewton compares the two power-flow solvers.
+func BenchmarkFastDecoupledVsNewton(b *testing.B) {
+	n := grid.Case118()
+	b.Run("newton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := powerflow.Solve(n, powerflow.Options{FlatStart: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fast-decoupled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := powerflow.SolveFastDecoupled(n, powerflow.Options{FlatStart: true, MaxIter: 150}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationContingencyScheduling reproduces the static-vs-dynamic
+// load-balancing comparison of the paper's HPC reference [2] (Chen et al.,
+// counter-based dynamic load balancing for massive contingency analysis)
+// on the N-1 screen of the WECC-scale synthetic case.
+func BenchmarkAblationContingencyScheduling(b *testing.B) {
+	n, err := grid.SynthWECC(grid.SynthOptions{Areas: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true, MaxIter: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratings, err := contingency.AutoRatings(n, pf.State, 1.3, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sched := range []struct {
+		name string
+		kind contingency.Scheduling
+	}{{"static", contingency.StaticScheduling}, {"counter", contingency.CounterScheduling}} {
+		b.Run(sched.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := contingency.ParallelScreen(n, pf.State, ratings, contingency.ParallelOptions{
+					Workers: 4, Scheduling: sched.kind,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionerScales exercises the multilevel partitioner on a
+// large random graph (well beyond the 9-vertex paper graph).
+func BenchmarkPartitionerScales(b *testing.B) {
+	g := partition.NewGraph(2000)
+	// Ring + chords, deterministic.
+	for v := 0; v < 2000; v++ {
+		g.AddEdge(v, (v+1)%2000, 1)
+		g.AddEdge(v, (v+37)%2000, 0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.KWay(g, 8, partition.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command medici-bench reproduces the paper's middleware-overhead
+// measurements (Tables III/IV, Figure 8): it transfers payloads of
+// increasing size directly over TCP and through a MeDICi-style pipeline,
+// and prints both times plus the absolute overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/medici"
+)
+
+func main() {
+	var (
+		sizesFlag = flag.String("sizes", "1MB,2MB,4MB,8MB,16MB", "comma-separated payload sizes (e.g. 100MB,2GB)")
+		profile   = flag.String("profile", "loopback", "network profile: loopback|lab")
+		relayRate = flag.Float64("relayrate", 0, "calibrate the router to this relay rate in GB/s (0 = native; paper measured ~0.4)")
+		repeats   = flag.Int("repeats", 1, "measurements per size (best run is reported)")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr medici.Transport
+	switch *profile {
+	case "loopback":
+		tr = nil
+	case "lab":
+		tr = cluster.NewShapedTransport(cluster.LabNetworkProfile(), nil)
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	var delay time.Duration
+	if *relayRate > 0 {
+		delay = time.Duration(1 / (*relayRate * 1e9) * float64(time.Second))
+	}
+
+	fmt.Printf("profile: %s, relay calibration: %v/byte\n", *profile, delay)
+	fmt.Println("Data Size    Direct TCP (s)    w/ MeDICi (s)    Abs. Overhead (s)")
+	for _, sz := range sizes {
+		best := medici.OverheadSample{}
+		for r := 0; r < *repeats; r++ {
+			s, err := medici.MeasureOverhead(tr, sz, delay)
+			if err != nil {
+				log.Fatalf("size %d: %v", sz, err)
+			}
+			if best.Size == 0 || s.Relayed < best.Relayed {
+				best = s
+			}
+		}
+		fmt.Printf("%9s    %14.6f    %13.6f    %17.6f\n",
+			human(sz), best.Direct.Seconds(), best.Relayed.Seconds(), best.Overhead.Seconds())
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(strings.ToUpper(tok))
+		mult := 1
+		switch {
+		case strings.HasSuffix(tok, "GB"):
+			mult = 1e9
+			tok = strings.TrimSuffix(tok, "GB")
+		case strings.HasSuffix(tok, "MB"):
+			mult = 1e6
+			tok = strings.TrimSuffix(tok, "MB")
+		case strings.HasSuffix(tok, "KB"):
+			mult = 1e3
+			tok = strings.TrimSuffix(tok, "KB")
+		case strings.HasSuffix(tok, "B"):
+			tok = strings.TrimSuffix(tok, "B")
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", tok, err)
+		}
+		out = append(out, int(v*float64(mult)))
+	}
+	return out, nil
+}
+
+func human(sz int) string {
+	switch {
+	case sz >= 1e9:
+		return fmt.Sprintf("%.1fGB", float64(sz)/1e9)
+	case sz >= 1e6:
+		return fmt.Sprintf("%.0fMB", float64(sz)/1e6)
+	case sz >= 1e3:
+		return fmt.Sprintf("%.0fKB", float64(sz)/1e3)
+	default:
+		return fmt.Sprintf("%dB", sz)
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("1MB, 2gb,500KB,16B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1e6, 2e9, 500e3, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("size %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := parseSizes("12XB"); err == nil {
+		t.Fatal("bad unit accepted")
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := map[int]string{
+		16:        "16B",
+		500e3:     "500KB",
+		1e6:       "1MB",
+		2e9:       "2.0GB",
+		100000000: "100MB",
+	}
+	for in, want := range cases {
+		if got := human(in); got != want {
+			t.Errorf("human(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

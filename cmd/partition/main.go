@@ -1,0 +1,143 @@
+// Command partition is the METIS-style graph-partitioning tool: it reads a
+// weighted graph (or uses the paper's IEEE-118 decomposition graph) and
+// prints the k-way partition, load-imbalance ratio and edge cut.
+//
+// Graph file format (whitespace separated, # comments):
+//
+//	v <id> <weight>
+//	e <u> <v> <weight>
+//
+// Vertex ids are 0-based and must be declared before use in edges.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	gridse "repro"
+)
+
+func main() {
+	var (
+		k    = flag.Int("k", 3, "number of parts")
+		file = flag.String("file", "", "graph file (default: the paper's IEEE-118 decomposition graph)")
+		seed = flag.Int64("seed", 1, "partitioner seed")
+		tol  = flag.Float64("tol", 1.05, "load-imbalance tolerance")
+	)
+	flag.Parse()
+
+	var g *gridse.Graph
+	var err error
+	if *file != "" {
+		g, err = readGraph(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		g = paperGraph()
+		fmt.Println("using the paper's 9-subsystem IEEE-118 decomposition graph (Table I weights)")
+	}
+
+	res, err := gridse.KWay(g, *k, gridse.PartitionOptions{Seed: *seed, ImbalanceTol: *tol})
+	if err != nil {
+		log.Fatalf("partition: %v", err)
+	}
+	fmt.Printf("parts: %v\n", res.Parts)
+	fmt.Printf("load-imbalance ratio: %.3f (threshold %.2f)\n", res.Imbalance, *tol)
+	fmt.Printf("edge cut: %.0f\n", res.EdgeCut)
+	w := g.PartWeights(res.Parts, *k)
+	for p, pw := range w {
+		fmt.Printf("  part %d: weight %.0f\n", p, pw)
+	}
+}
+
+func paperGraph() *gridse.Graph {
+	g := gridse.NewGraph(9)
+	weights := []float64{14, 13, 13, 13, 13, 12, 14, 13, 13}
+	for i, w := range weights {
+		g.SetVertexWeight(i, w)
+	}
+	for _, e := range [][2]int{
+		{1, 2}, {1, 4}, {1, 5}, {2, 3}, {2, 6}, {3, 6},
+		{4, 5}, {4, 7}, {5, 6}, {5, 7}, {5, 8}, {7, 9},
+	} {
+		u, v := e[0]-1, e[1]-1
+		g.AddEdge(u, v, weights[u]+weights[v])
+	}
+	return g
+}
+
+func readGraph(path string) (*gridse.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var maxID int = -1
+	type vdef struct {
+		id int
+		w  float64
+	}
+	var vs []vdef
+	var es []edge
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		fields := strings.Fields(txt)
+		bad := func() error { return fmt.Errorf("%s:%d: malformed record %q", path, line, txt) }
+		switch fields[0] {
+		case "v":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			w, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad()
+			}
+			vs = append(vs, vdef{id, w})
+			if id > maxID {
+				maxID = id
+			}
+		case "e":
+			if len(fields) != 4 {
+				return nil, bad()
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, bad()
+			}
+			es = append(es, edge{u, v, w})
+		default:
+			return nil, bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := gridse.NewGraph(maxID + 1)
+	for _, v := range vs {
+		g.SetVertexWeight(v.id, v.w)
+	}
+	for _, e := range es {
+		g.AddEdge(e.u, e.v, e.w)
+	}
+	return g, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadGraph(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.graph")
+	content := `# comment
+v 0 2.5
+v 1 1.0
+v 2 3.0
+e 0 1 4.5
+e 1 2 1.0
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := readGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.VertexWeight(0) != 2.5 {
+		t.Fatalf("vw0 = %v", g.VertexWeight(0))
+	}
+	if len(g.Edges()) != 2 {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+
+	bad := filepath.Join(dir, "bad.graph")
+	os.WriteFile(bad, []byte("x 1 2\n"), 0o644)
+	if _, err := readGraph(bad); err == nil {
+		t.Fatal("bad record accepted")
+	}
+	if _, err := readGraph(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPaperGraphShape(t *testing.T) {
+	g := paperGraph()
+	if g.N() != 9 || g.TotalVertexWeight() != 118 || len(g.Edges()) != 12 {
+		t.Fatalf("paper graph shape wrong: n=%d w=%v e=%d", g.N(), g.TotalVertexWeight(), len(g.Edges()))
+	}
+}

@@ -1,0 +1,49 @@
+// Command synth generates a synthetic multi-area interconnection (the
+// WECC-scale scenario) and writes it in the text case format, optionally
+// verifying it solves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	gridse "repro"
+)
+
+func main() {
+	var (
+		areas  = flag.Int("areas", 37, "number of balancing-authority areas")
+		ties   = flag.Int("ties", 2, "extra inter-area tie lines per area")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		verify = flag.Bool("verify", true, "solve a power flow before writing")
+	)
+	flag.Parse()
+
+	net, err := gridse.SynthWECC(gridse.SynthOptions{Areas: *areas, TiesPerArea: *ties, Seed: *seed})
+	if err != nil {
+		log.Fatalf("synthesize: %v", err)
+	}
+	if *verify {
+		res, err := gridse.SolvePowerFlow(net)
+		if err != nil {
+			log.Fatalf("generated case does not solve: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "verified: %d buses, power flow converged in %d iterations\n",
+			net.N(), res.Iterations)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := gridse.WriteCase(w, net); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+}

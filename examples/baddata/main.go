@@ -1,0 +1,74 @@
+// Bad-data processing walk-through: corrupt one measurement with a gross
+// error, detect it with the chi-square test, identify it with the largest
+// normalized residual method, and re-estimate on the cleaned set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	gridse "repro"
+	"repro/internal/wls"
+)
+
+func main() {
+	var (
+		index = flag.Int("index", 30, "measurement index to corrupt")
+		gross = flag.Float64("gross", 25, "gross error size in meter sigmas")
+	)
+	flag.Parse()
+
+	net := gridse.Case14()
+	truth, err := gridse.SolvePowerFlow(net)
+	if err != nil {
+		log.Fatalf("power flow: %v", err)
+	}
+	clean, err := gridse.SimulateMeasurements(net, gridse.FullPlan().Build(net), truth.State, 1, 17)
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+
+	// Corrupt one measurement.
+	bad, err := gridse.InjectBadData(clean, *index, *gross)
+	if err != nil {
+		log.Fatalf("inject: %v", err)
+	}
+	fmt.Printf("corrupted measurement %d (%s) by %+.0f sigma\n\n",
+		*index, bad[*index].Key(), *gross)
+
+	mod, err := gridse.NewMeasurementModel(net, bad, truth.State.Va[net.SlackIndex()])
+	if err != nil {
+		log.Fatalf("model: %v", err)
+	}
+	res, err := wls.Estimate(mod, wls.Options{})
+	if err != nil {
+		log.Fatalf("estimate: %v", err)
+	}
+
+	// Detection: chi-square test on J(x̂).
+	threshold, suspect, err := gridse.ChiSquareTest(res, mod, 0.99)
+	if err != nil {
+		log.Fatalf("chi-square: %v", err)
+	}
+	fmt.Printf("detection: J = %.1f vs chi-square(99%%) threshold %.1f -> bad data: %v\n",
+		res.ObjectiveJ, threshold, suspect)
+
+	// Identification: largest normalized residual cycle.
+	removed, cleanRes, err := gridse.IdentifyBadData(mod, wls.Options{}, 3.0, 5)
+	if err != nil {
+		log.Fatalf("identify: %v", err)
+	}
+	for _, b := range removed {
+		fmt.Printf("identified and removed: measurement %d (%s), rN = %.1f\n",
+			b.Index, b.Key, b.Normalized)
+	}
+
+	var before, after float64
+	for i := range truth.State.Vm {
+		before = math.Max(before, math.Abs(res.State.Vm[i]-truth.State.Vm[i]))
+		after = math.Max(after, math.Abs(cleanRes.State.Vm[i]-truth.State.Vm[i]))
+	}
+	fmt.Printf("\nmax |Vm error| with bad datum: %.5f, after removal: %.5f\n", before, after)
+}

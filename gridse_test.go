@@ -1,0 +1,93 @@
+package gridse_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	gridse "repro"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	net := gridse.Case14()
+	truth, err := gridse.SolvePowerFlow(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := gridse.SimulateMeasurements(net, gridse.FullPlan().Build(net), truth.State, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := gridse.Estimate(net, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.State.Vm {
+		if math.Abs(est.State.Vm[i]-truth.State.Vm[i]) > 0.01 {
+			t.Fatalf("bus %d Vm error too large", i)
+		}
+	}
+}
+
+func TestFacadeDSEFlow(t *testing.T) {
+	net := gridse.Case118()
+	truth, err := gridse.SolvePowerFlow(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := gridse.Decompose(net, 9, gridse.DecomposeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := gridse.FullPlan().Build(net)
+	plan = append(plan, gridse.PMUPlanFor(dec, plan, 0.0005)...)
+	ms, err := gridse.SimulateMeasurements(net, plan, truth.State, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gridse.RunDSE(dec, ms, gridse.DSEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.State.Vm {
+		if math.Abs(res.State.Vm[i]-truth.State.Vm[i]) > 0.03 {
+			t.Fatalf("bus %d Vm error too large", i)
+		}
+	}
+}
+
+func TestFacadeCaseCodec(t *testing.T) {
+	n, err := gridse.CaseByName("ieee30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gridse.WriteCase(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gridse.ReadCase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 30 {
+		t.Fatalf("round trip: %d buses", back.N())
+	}
+}
+
+func TestFacadePartitioner(t *testing.T) {
+	g := gridse.NewGraph(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	res, err := gridse.KWay(g, 2, gridse.PartitionOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 6 {
+		t.Fatalf("parts %v", res.Parts)
+	}
+	cm := gridse.PaperCostModel()
+	if cm.G1 != 3.7579 || cm.G2 != 5.2464 {
+		t.Fatalf("cost model %+v", cm)
+	}
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/medici"
+	"repro/internal/powerflow"
+	"repro/internal/wls"
+)
+
+func TestShapedLinkBandwidth(t *testing.T) {
+	// 1 MB over a 10 MB/s link must take ≥ ~100 ms end to end.
+	tr := NewShapedTransport(LinkProfile{Bandwidth: 10e6}, nil)
+	reg := medici.NewRegistry()
+	dst, err := medici.NewMWClient("dst", "127.0.0.1:0", reg, tr, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	src, err := medici.NewMWClient("src", "127.0.0.1:0", reg, tr, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	payload := bytes.Repeat([]byte{1}, 1<<20)
+	start := time.Now()
+	if err := src.Send("dst", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 90*time.Millisecond {
+		t.Errorf("1MB over 10MB/s link took %v, want ≥ ~100ms", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("shaping overshoot: %v", elapsed)
+	}
+}
+
+func TestShapedLinkLatency(t *testing.T) {
+	tr := NewShapedTransport(LinkProfile{Latency: 50 * time.Millisecond}, nil)
+	reg := medici.NewRegistry()
+	dst, err := medici.NewMWClient("dst", "127.0.0.1:0", reg, tr, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	src, err := medici.NewMWClient("src", "127.0.0.1:0", reg, tr, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	start := time.Now()
+	if err := src.Send("dst", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestUnshapedPassThrough(t *testing.T) {
+	tr := NewShapedTransport(LoopbackProfile(), nil)
+	ln, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := tr.Dial(ln.Addr().String())
+		if err != nil {
+			return
+		}
+		c.Write([]byte("x"))
+		c.Close()
+	}()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'x' {
+		t.Fatal("data corrupted")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if LoopbackProfile().String() != "unshaped" {
+		t.Fatal("loopback string")
+	}
+	if LabNetworkProfile().String() == "unshaped" {
+		t.Fatal("lab profile should describe shaping")
+	}
+}
+
+func TestTestbedSitesAndJobs(t *testing.T) {
+	tb, err := NewTestbed(3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if len(tb.Sites) != 3 {
+		t.Fatalf("%d sites", len(tb.Sites))
+	}
+	if tb.Sites[0].Name != "Nwiceb" || tb.Sites[2].Name != "Chinook" {
+		t.Fatalf("site names %s, %s", tb.Sites[0].Name, tb.Sites[2].Name)
+	}
+	// Sites can message each other by name.
+	if err := tb.Sites[0].Client().Send("Chinook", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := tb.Sites[2].Client().Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "hello" {
+		t.Fatalf("got %q", msg)
+	}
+
+	// Run an estimation job on a site.
+	n := grid.Case14()
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := meas.Simulate(n, meas.FullPlan().Build(n), pf.State, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := meas.NewModel(n, ms, n.SlackIndex(), pf.State.Va[n.SlackIndex()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []func([]EstimationJob) []JobResult{
+		tb.Sites[0].RunJobs, tb.Sites[0].RunJobsConcurrent,
+	} {
+		results := run([]EstimationJob{{ID: 7, Model: mod, Opts: wls.Options{}}})
+		if len(results) != 1 || results[0].Err != nil {
+			t.Fatalf("job results: %+v", results)
+		}
+		if results[0].ID != 7 || !results[0].Result.Converged {
+			t.Fatalf("job 7 did not converge")
+		}
+	}
+}
+
+func TestNewTestbedSiteNamesBeyondThree(t *testing.T) {
+	tb, err := NewTestbed(5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if tb.Sites[3].Name != "site3" || tb.Sites[4].Name != "site4" {
+		t.Fatalf("names: %s %s", tb.Sites[3].Name, tb.Sites[4].Name)
+	}
+}

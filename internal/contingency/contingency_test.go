@@ -1,0 +1,152 @@
+package contingency
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/powerflow"
+)
+
+func solved(t *testing.T, n *grid.Network) powerflow.State {
+	t.Helper()
+	res, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("powerflow: %v", err)
+	}
+	return res.State
+}
+
+func TestDCFlowMatchesACRoughly(t *testing.T) {
+	// DC flows should approximate AC active flows within ~10-15% of the
+	// larger flows on a lightly loaded system.
+	n := grid.Case14()
+	st := solved(t, n)
+	p, err := injectionsFromState(n, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta, err := solveDC(n, p, -1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch 0 is 1-2, the heaviest corridor (~1.5 pu AC).
+	f := dcBranchFlow(n, theta, n.Branches[0])
+	if f < 1.0 || f > 2.0 {
+		t.Fatalf("DC flow on 1-2 = %v pu, expected ~1.5", f)
+	}
+	// DC angles should correlate with AC angles (same ordering sign).
+	for i := range theta {
+		if st.Va[i] < -0.05 && theta[i] > 0.05 {
+			t.Fatalf("bus %d: DC angle %v has wrong sign vs AC %v", i, theta[i], st.Va[i])
+		}
+	}
+}
+
+func TestAutoRatingsCoverBaseCase(t *testing.T) {
+	n := grid.Case118()
+	st := solved(t, n)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := injectionsFromState(n, st)
+	theta, err := solveDC(n, p, -1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, br := range n.Branches {
+		if !br.Status {
+			continue
+		}
+		if ratings[bi] <= 0 {
+			t.Fatalf("branch %d unrated", bi)
+		}
+		if f := math.Abs(dcBranchFlow(n, theta, br)); f > ratings[bi] {
+			t.Fatalf("base case violates its own rating on branch %d: %v > %v", bi, f, ratings[bi])
+		}
+	}
+	if _, err := AutoRatings(n, st, 0.9, 0.3); err == nil {
+		t.Fatal("margin < 1 accepted")
+	}
+}
+
+func TestScreenIEEE118(t *testing.T) {
+	n := grid.Case118()
+	st := solved(t, n)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Screen(n, st, ratings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases, islanding, insecure := Summary(results)
+	if cases != len(n.InService()) {
+		t.Fatalf("screened %d cases, want %d", cases, len(n.InService()))
+	}
+	// Radial spurs (e.g. 9-10 toward the big unit at 10, 86-87, 110-111,
+	// 110-112, 68-116, 12-117) island on outage.
+	if islanding == 0 {
+		t.Error("IEEE-118 has radial branches; expected islanding cases")
+	}
+	// A 1.3 margin leaves some N-1 overloads on heavy corridors.
+	if insecure == 0 {
+		t.Error("expected at least one insecure case at 1.3 rating margin")
+	}
+	t.Logf("cases=%d islanding=%d insecure=%d", cases, islanding, insecure)
+	for _, r := range results {
+		for _, v := range r.Violations {
+			if v.Loading < 1.0 {
+				t.Fatalf("violation below threshold reported: %+v", v)
+			}
+			if v.Branch == r.Outage {
+				t.Fatalf("outaged branch reported as overloaded")
+			}
+		}
+	}
+}
+
+func TestScreenGenerousRatingsAllSecure(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	ratings, err := AutoRatings(n, st, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Screen(n, st, ratings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, insecure := Summary(results)
+	if insecure != 0 {
+		t.Fatalf("%d insecure cases with 10x ratings", insecure)
+	}
+}
+
+func TestScreenValidation(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	if _, err := Screen(n, st, []float64{1}, Options{}); err == nil {
+		t.Fatal("short ratings accepted")
+	}
+	bad := powerflow.State{Vm: []float64{1}, Va: []float64{0}}
+	ratings := make([]float64, len(n.Branches))
+	if _, err := Screen(n, bad, ratings, Options{}); err == nil {
+		t.Fatal("mismatched state accepted")
+	}
+}
+
+func TestIslandsDetection(t *testing.T) {
+	// Two buses, one line: removing it islands.
+	buses := []grid.Bus{{ID: 1, Type: grid.Slack, Vm: 1}, {ID: 2, Type: grid.PQ, Vm: 1}}
+	branches := []grid.Branch{{From: 1, To: 2, X: 0.1, Status: true}}
+	n, err := grid.New("radial", 100, buses, branches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !islands(n, 0) {
+		t.Fatal("radial outage not flagged as islanding")
+	}
+}

@@ -1,0 +1,73 @@
+package contingency
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestParallelScreenMatchesSerial(t *testing.T) {
+	n := grid.Case118()
+	st := solved(t, n)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Screen(n, st, ratings, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Scheduling{StaticScheduling, CounterScheduling} {
+		par, err := ParallelScreen(n, st, ratings, ParallelOptions{
+			Workers: 4, Scheduling: sched,
+		})
+		if err != nil {
+			t.Fatalf("scheduling %d: %v", sched, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("scheduling %d: %d cases vs serial %d", sched, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Outage != serial[i].Outage || par[i].Islanding != serial[i].Islanding {
+				t.Fatalf("scheduling %d: case %d differs", sched, i)
+			}
+			if len(par[i].Violations) != len(serial[i].Violations) {
+				t.Fatalf("scheduling %d: case %d has %d violations vs %d",
+					sched, i, len(par[i].Violations), len(serial[i].Violations))
+			}
+			for j := range serial[i].Violations {
+				if par[i].Violations[j] != serial[i].Violations[j] {
+					t.Fatalf("scheduling %d: violation %d/%d differs", sched, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelScreenSingleWorker(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	ratings, err := AutoRatings(n, st, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ParallelScreen(n, st, ratings, ParallelOptions{Workers: 1, Scheduling: CounterScheduling})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(n.InService()) {
+		t.Fatalf("%d cases", len(res))
+	}
+}
+
+func TestParallelScreenValidation(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	if _, err := ParallelScreen(n, st, []float64{1}, ParallelOptions{}); err == nil {
+		t.Fatal("short ratings accepted")
+	}
+	ratings := make([]float64, len(n.Branches))
+	if _, err := ParallelScreen(n, st, ratings, ParallelOptions{Scheduling: Scheduling(9)}); err == nil {
+		t.Fatal("bad scheduling accepted")
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+	"repro/internal/wls"
+)
+
+// DSEOptions configures a distributed state-estimation run.
+type DSEOptions struct {
+	// PseudoSigma weights exchanged pseudo-measurements
+	// (default PseudoSigmaDefault).
+	PseudoSigma float64
+	// Rounds is the number of Step-2 re-evaluation rounds. Zero selects 1;
+	// the convergence bound is the decomposition-graph diameter [10].
+	Rounds int
+	// WLS configures each local estimator.
+	WLS wls.Options
+	// Sequential disables per-subsystem concurrency (used by benchmarks to
+	// measure the serial cost).
+	Sequential bool
+	// WarmStart optionally provides a per-subsystem Step-1 starting state
+	// (the previous frame's solution in tracking operation). Entries may
+	// be nil; lengths must match each subproblem's state dimension.
+	WarmStart [][]float64
+	// RestoreObservability augments any unobservable subsystem's
+	// measurement set with flat-profile pseudo-measurements (sigma
+	// RestoreSigma, default 0.05) instead of failing — telemetry-loss
+	// resilience at reduced redundancy.
+	RestoreObservability bool
+	// RestoreSigma is the pseudo-measurement sigma for restoration.
+	RestoreSigma float64
+}
+
+// StepStats reports one DSE phase.
+type StepStats struct {
+	Duration time.Duration
+	// Iterations sums Gauss–Newton iterations across subsystems.
+	Iterations int
+	// CGIterations sums inner PCG iterations across subsystems.
+	CGIterations int
+}
+
+// DSEResult is the outcome of a full DSE run.
+type DSEResult struct {
+	// State is the aggregated system-wide solution (final step).
+	State powerflow.State
+	// Step1 and Step2 hold the per-subsystem local results of each phase.
+	Step1 []*wls.Result
+	Step2 []*wls.Result
+	// Step1Stats/Step2Stats aggregate timings and iteration counts.
+	Step1Stats StepStats
+	Step2Stats StepStats
+	// ExchangeBytes is the total pseudo-measurement payload volume
+	// (serialized), summed over all neighbor pairs and rounds.
+	ExchangeBytes int
+	// ExchangeMessages counts the point-to-point sends.
+	ExchangeMessages int
+}
+
+// RunDSE executes the DSE algorithm in-process: Step 1 on every subsystem,
+// pseudo-measurement extraction and exchange, then Rounds of Step 2, and
+// the final aggregation. Subsystem estimations run concurrently (one
+// goroutine per estimator) unless opts.Sequential. The global measurement
+// set must contain a PMU angle measurement at every subsystem's reference
+// bus (see PMUPlanFor).
+func RunDSE(d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSEResult, error) {
+	m := len(d.Subsystems)
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	res := &DSEResult{
+		Step1: make([]*wls.Result, m),
+		Step2: make([]*wls.Result, m),
+	}
+
+	// DSE Step 1: local estimation per subsystem.
+	probs1 := make([]*Subproblem, m)
+	start := time.Now()
+	err := forEachSubsystem(m, opts.Sequential, func(si int) error {
+		sp, err := d.BuildStep1(si, global)
+		if err != nil {
+			return err
+		}
+		if opts.RestoreObservability {
+			if err := restoreSubproblem(sp, opts.RestoreSigma); err != nil {
+				return fmt.Errorf("core: step 1 subsystem %d restoration: %w", si, err)
+			}
+		}
+		wlsOpts := opts.WLS
+		if opts.WarmStart != nil && si < len(opts.WarmStart) && opts.WarmStart[si] != nil {
+			wlsOpts.X0 = opts.WarmStart[si]
+		}
+		r, err := wls.Estimate(sp.Model, wlsOpts)
+		if err != nil {
+			return fmt.Errorf("core: step 1 subsystem %d: %w", si, err)
+		}
+		probs1[si] = sp
+		res.Step1[si] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Step1Stats = statsOf(res.Step1, time.Since(start))
+
+	// Pseudo-measurement exchange + Step 2 rounds.
+	current := make([]powerflow.State, m)
+	currentProb := make([]*Subproblem, m)
+	for si := range current {
+		current[si] = res.Step1[si].State
+		currentProb[si] = probs1[si]
+	}
+	probs2 := make([]*Subproblem, m)
+	start = time.Now()
+	for round := 0; round < rounds; round++ {
+		packets := make([]PseudoPacket, m)
+		for si := 0; si < m; si++ {
+			packets[si] = d.ExtractPseudo(si, currentProb[si], current[si])
+		}
+		// Account the exchange: each subsystem sends its packet to every
+		// neighbor.
+		for si := 0; si < m; si++ {
+			nbrs := d.Neighbors(si)
+			if len(nbrs) == 0 {
+				continue
+			}
+			sz, err := packetSize(packets[si])
+			if err != nil {
+				return nil, err
+			}
+			res.ExchangeBytes += sz * len(nbrs)
+			res.ExchangeMessages += len(nbrs)
+		}
+		err := forEachSubsystem(m, opts.Sequential, func(si int) error {
+			var incoming []PseudoPacket
+			for _, nb := range d.Neighbors(si) {
+				incoming = append(incoming, packets[nb])
+			}
+			sp, err := d.BuildStep2(si, global, incoming, opts.PseudoSigma)
+			if err != nil {
+				return err
+			}
+			wlsOpts := opts.WLS
+			r, err := wls.Estimate(sp.Model, wlsOpts)
+			if err != nil {
+				return fmt.Errorf("core: step 2 subsystem %d: %w", si, err)
+			}
+			probs2[si] = sp
+			res.Step2[si] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for si := 0; si < m; si++ {
+			current[si] = res.Step2[si].State
+			currentProb[si] = probs2[si]
+		}
+	}
+	res.Step2Stats = statsOf(res.Step2, time.Since(start))
+
+	// Final step: aggregate the system-wide solution from each subsystem's
+	// own buses.
+	nb := d.Net.N()
+	res.State = powerflow.State{Vm: make([]float64, nb), Va: make([]float64, nb)}
+	for si := 0; si < m; si++ {
+		probs2[si].MergeInto(d, res.Step2[si].State, &res.State)
+	}
+	return res, nil
+}
+
+// PMUPlanFor returns the PMU measurements (voltage angle + magnitude) that
+// the DSE run requires at each subsystem's reference bus, to be appended to
+// the metering plan before simulation. Already-covered reference buses are
+// skipped.
+func PMUPlanFor(d *Decomposition, base []meas.Measurement, sigma float64) []meas.Measurement {
+	if sigma <= 0 {
+		sigma = 0.001
+	}
+	have := make(map[int]bool)
+	for _, m := range base {
+		if m.Kind == meas.Angle {
+			have[m.Bus] = true
+		}
+	}
+	var extra []meas.Measurement
+	for _, s := range d.Subsystems {
+		id := d.Net.Buses[s.RefBus].ID
+		if have[id] {
+			continue
+		}
+		extra = append(extra,
+			meas.Measurement{Kind: meas.Angle, Bus: id, Sigma: sigma},
+			meas.Measurement{Kind: meas.Vmag, Bus: id, Sigma: sigma})
+	}
+	return extra
+}
+
+// restoreSubproblem augments an unobservable subproblem with flat-profile
+// pseudo-measurements.
+func restoreSubproblem(sp *Subproblem, sigma float64) error {
+	augmented, added, err := wls.RestoreObservability(sp.Model, sigma)
+	if err != nil {
+		return err
+	}
+	if len(added) == 0 {
+		return nil
+	}
+	return sp.ReplaceMeasurements(augmented)
+}
+
+func forEachSubsystem(m int, sequential bool, f func(si int) error) error {
+	if sequential {
+		for si := 0; si < m; si++ {
+			if err := f(si); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for si := 0; si < m; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			errs[si] = f(si)
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func statsOf(results []*wls.Result, d time.Duration) StepStats {
+	st := StepStats{Duration: d}
+	for _, r := range results {
+		if r != nil {
+			st.Iterations += r.Iterations
+			st.CGIterations += r.CGIterations
+		}
+	}
+	return st
+}
+
+// packetSize returns the serialized (gob) size of a pseudo packet — the
+// byte volume the middleware would carry.
+func packetSize(p PseudoPacket) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return 0, fmt.Errorf("core: encoding pseudo packet: %w", err)
+	}
+	return buf.Len(), nil
+}
+
+// EncodePacket serializes a pseudo packet for middleware transmission.
+func EncodePacket(p PseudoPacket) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("core: encoding pseudo packet: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePacket deserializes a pseudo packet received from the middleware.
+func DecodePacket(b []byte) (PseudoPacket, error) {
+	var p PseudoPacket
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return PseudoPacket{}, fmt.Errorf("core: decoding pseudo packet: %w", err)
+	}
+	return p, nil
+}

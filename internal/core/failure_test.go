@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/wls"
+)
+
+// TestRunDSEPropagatesSubsystemFailure: when one subsystem's estimation
+// cannot run (its reference PMU is missing), RunDSE must fail with an
+// error naming the step rather than returning a silently wrong state.
+func TestRunDSEPropagatesSubsystemFailure(t *testing.T) {
+	fx := newFixture(t, grid.Case118, 9, 1)
+	// Strip the PMU angle at one subsystem's reference bus.
+	victim := fx.dec.Subsystems[3]
+	refID := fx.net.Buses[victim.RefBus].ID
+	var ms []meas.Measurement
+	for _, m := range fx.ms {
+		if m.Kind == meas.Angle && m.Bus == refID {
+			continue
+		}
+		ms = append(ms, m)
+	}
+	_, err := RunDSE(fx.dec, ms, DSEOptions{})
+	if err == nil {
+		t.Fatal("missing reference PMU not reported")
+	}
+	if !strings.Contains(err.Error(), "reference bus") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestRunDSEPropagatesUnobservableSubsystem: telemetry loss making one
+// subsystem unobservable must surface as an estimation error for that
+// subsystem.
+func TestRunDSEPropagatesUnobservableSubsystem(t *testing.T) {
+	fx := newFixture(t, grid.Case118, 9, 1)
+	victim := fx.dec.Subsystems[5]
+	inVictim := make(map[int]bool)
+	for _, b := range victim.Buses {
+		inVictim[fx.net.Buses[b].ID] = true
+	}
+	// Drop every flow and injection inside the victim subsystem; keep only
+	// voltages, which cannot pin the angles.
+	var ms []meas.Measurement
+	for _, m := range fx.ms {
+		switch m.Kind {
+		case meas.Pinj, meas.Qinj:
+			if inVictim[m.Bus] {
+				continue
+			}
+		case meas.Pflow, meas.Qflow:
+			br := fx.net.Branches[m.Branch]
+			if inVictim[br.From] && inVictim[br.To] {
+				continue
+			}
+		}
+		ms = append(ms, m)
+	}
+	_, err := RunDSE(fx.dec, ms, DSEOptions{})
+	if err == nil {
+		t.Fatal("unobservable subsystem not reported")
+	}
+}
+
+// TestDistributedBadDataCaughtLocally: a gross error inside one subsystem
+// is flagged by that subsystem's own chi-square test after Step 1 — the
+// distributed analogue of centralized detection, requiring no global data.
+func TestDistributedBadDataCaughtLocally(t *testing.T) {
+	fx := newFixture(t, grid.Case118, 9, 1)
+	// Corrupt an injection at an internal (non-boundary) bus of subsystem 2.
+	victim := fx.dec.Subsystems[2]
+	boundary := intSet(victim.Boundary)
+	var targetBus int
+	for _, b := range victim.Buses {
+		if !boundary[b] {
+			targetBus = fx.net.Buses[b].ID
+			break
+		}
+	}
+	idx := -1
+	for i, m := range fx.ms {
+		if m.Kind == meas.Pinj && m.Bus == targetBus {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no injection measurement at target bus")
+	}
+	bad, err := meas.InjectBadData(fx.ms, idx, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for si := range fx.dec.Subsystems {
+		sp, err := fx.dec.BuildStep1(si, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := wls.Estimate(sp.Model, wls.Options{})
+		if err != nil {
+			t.Fatalf("subsystem %d: %v", si, err)
+		}
+		_, suspect, err := wls.ChiSquareTest(res, sp.Model, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si == 2 && !suspect {
+			t.Error("subsystem 2 did not detect its own bad datum")
+		}
+		if si != 2 && suspect {
+			t.Errorf("subsystem %d false alarm on remote bad datum", si)
+		}
+	}
+}

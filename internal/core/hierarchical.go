@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/medici"
+	"repro/internal/powerflow"
+	"repro/internal/wls"
+)
+
+// HierarchicalResult reports a hierarchical state-estimation run: local
+// estimation at the balancing-authority level, solutions forwarded to a
+// reliability-coordinator site that assembles the regional picture (the
+// top layer of the paper's Figure 1).
+type HierarchicalResult struct {
+	State powerflow.State
+	Local []*wls.Result
+	// CoordinatorBytes is the volume shipped up to the coordinator.
+	CoordinatorBytes int
+	Duration         time.Duration
+}
+
+// RunHierarchical executes hierarchical state estimation on the testbed:
+// every subsystem solves locally (as in DSE Step 1), then each site sends
+// its subsystems' full solved states to the centralized coordinator, which
+// combines them into the system-wide state. There is no peer-to-peer
+// Step 2; the coordinator is the single aggregation point.
+func RunHierarchical(d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*HierarchicalResult, error) {
+	p := opts.Clusters
+	if p <= 0 {
+		p = 3
+	}
+	m := len(d.Subsystems)
+	if p > m {
+		return nil, fmt.Errorf("core: %d clusters for %d subsystems", p, m)
+	}
+	start := time.Now()
+
+	tb, err := cluster.NewTestbed(p, opts.WorkersPerSite, opts.Transport)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	// The reliability coordinator gets its own endpoint, like any estimator.
+	coord, err := medici.NewMWClient("coordinator", "127.0.0.1:0", tb.Registry, opts.Transport, medici.LengthPrefixProtocol{}, 256)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	mapping, err := d.MapStep1(p, opts.Map)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HierarchicalResult{Local: make([]*wls.Result, m)}
+	probs := make([]*Subproblem, m)
+	err = runOnSites(tb, mapping.Assign, func(si int, site *cluster.Site) error {
+		sp, err := d.BuildStep1(si, global)
+		if err != nil {
+			return err
+		}
+		probs[si] = sp
+		out := site.RunJobs([]cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		if out[0].Err != nil {
+			return fmt.Errorf("core: hierarchical subsystem %d: %w", si, out[0].Err)
+		}
+		res.Local[si] = out[0].Result
+
+		// Ship the full own-bus solution to the coordinator.
+		pkt := PseudoPacket{FromSub: si}
+		for _, id := range sp.OwnBuses {
+			li := sp.Net.MustIndex(id)
+			pkt.States = append(pkt.States, BusState{
+				BusID: id,
+				Vm:    out[0].Result.State.Vm[li],
+				Va:    out[0].Result.State.Va[li],
+			})
+		}
+		payload, err := EncodePacket(pkt)
+		if err != nil {
+			return err
+		}
+		return site.Client().SendURL(coord.URL(), payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Coordinator: collect one packet per subsystem and assemble the state.
+	nb := d.Net.N()
+	res.State = powerflow.State{Vm: make([]float64, nb), Va: make([]float64, nb)}
+	for k := 0; k < m; k++ {
+		msg, err := coord.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("core: coordinator receive: %w", err)
+		}
+		res.CoordinatorBytes += len(msg)
+		pkt, err := DecodePacket(msg)
+		if err != nil {
+			return nil, err
+		}
+		for _, bs := range pkt.States {
+			gi := d.Net.MustIndex(bs.BusID)
+			res.State.Vm[gi] = bs.Vm
+			res.State.Va[gi] = bs.Va
+		}
+	}
+	if opts.HierarchicalRefine {
+		if err := refineBoundary(d, global, &res.State, opts.DSE); err != nil {
+			return nil, fmt.Errorf("core: coordinator boundary refinement: %w", err)
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// refineBoundary is the coordinator's second stage: a WLS estimation on the
+// reduced boundary system (all boundary buses + tie lines), anchored by the
+// subsystem solutions as pseudo-measurements and constrained by the
+// tie-line flow telemetry that no single balancing authority could use on
+// its own. Refined boundary states are written back into state.
+func refineBoundary(d *Decomposition, global []meas.Measurement, state *powerflow.State, dseOpts DSEOptions) error {
+	if len(d.TieLines) == 0 {
+		return nil
+	}
+	pseudoSigma := dseOpts.PseudoSigma
+	if pseudoSigma <= 0 {
+		pseudoSigma = PseudoSigmaDefault
+	}
+	// Boundary buses (global internal indices), sorted for determinism.
+	bset := make(map[int]bool)
+	for _, s := range d.Subsystems {
+		for _, b := range s.Boundary {
+			bset[b] = true
+		}
+	}
+	var bList []int
+	for b := range bset {
+		bList = append(bList, b)
+	}
+	sort.Ints(bList)
+
+	var buses []grid.Bus
+	for i, gi := range bList {
+		b := d.Net.Buses[gi]
+		if i == 0 {
+			b.Type = grid.Slack
+		} else {
+			b.Type = grid.PQ
+		}
+		buses = append(buses, b)
+	}
+	var branches []grid.Branch
+	branchMap := make(map[int]int)
+	for _, tl := range d.TieLines {
+		branchMap[tl.Branch] = len(branches)
+		branches = append(branches, d.Net.Branches[tl.Branch])
+	}
+	boundaryNet, err := grid.New(d.Net.Name+"-boundary", d.Net.BaseMVA, buses, branches, nil)
+	if err != nil {
+		return err
+	}
+
+	var ms []meas.Measurement
+	for _, gi := range bList {
+		id := d.Net.Buses[gi].ID
+		ms = append(ms,
+			meas.Measurement{Kind: meas.Vmag, Bus: id, Sigma: pseudoSigma, Value: state.Vm[gi]},
+			meas.Measurement{Kind: meas.Angle, Bus: id, Sigma: pseudoSigma, Value: state.Va[gi]})
+	}
+	for _, m := range global {
+		if m.Kind != meas.Pflow && m.Kind != meas.Qflow {
+			continue
+		}
+		if li, ok := branchMap[m.Branch]; ok {
+			lm := m
+			lm.Branch = li
+			ms = append(ms, lm)
+		}
+	}
+	refIdx := 0
+	refAngle := state.Va[bList[0]]
+	mod, err := meas.NewModel(boundaryNet, ms, refIdx, refAngle)
+	if err != nil {
+		return err
+	}
+	res, err := wls.Estimate(mod, dseOpts.WLS)
+	if err != nil {
+		return err
+	}
+	for _, gi := range bList {
+		id := d.Net.Buses[gi].ID
+		li := boundaryNet.MustIndex(id)
+		state.Vm[gi] = res.State.Vm[li]
+		state.Va[gi] = res.State.Va[li]
+	}
+	return nil
+}
+
+// CentralizedEstimate runs the conventional single-control-center WLS
+// estimation on the full network — the baseline the distributed
+// architecture is compared against. The reference angle is taken from a
+// PMU angle measurement at the slack bus when present, else zero.
+func CentralizedEstimate(n *grid.Network, global []meas.Measurement, opts wls.Options) (*wls.Result, error) {
+	ref := n.SlackIndex()
+	refAngle, ok := findRefAngle(global, n.Buses[ref].ID)
+	if !ok {
+		refAngle = 0
+	}
+	mod, err := meas.NewModel(n, global, ref, refAngle)
+	if err != nil {
+		return nil, err
+	}
+	return wls.Estimate(mod, opts)
+}

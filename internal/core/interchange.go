@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+)
+
+// Interchange reports one subsystem's (balancing authority's) tie-line
+// power accounting from an estimated system state — the quantity area
+// operators schedule and settle against.
+type Interchange struct {
+	Subsystem int
+	// NetExportMW is the net active power leaving the subsystem over its
+	// tie lines, in MW (negative = net import).
+	NetExportMW float64
+	// TieFlowsMW lists the per-tie-line flows, oriented out of the
+	// subsystem, aligned with Decomposition.TieLinesOf(Subsystem).
+	TieFlowsMW []float64
+}
+
+// InterchangeReport computes every subsystem's net tie-line interchange
+// from a solved or estimated state, evaluating the full AC branch model
+// once for all tie lines.
+func (d *Decomposition) InterchangeReport(st powerflow.State) ([]Interchange, error) {
+	// One flow measurement per tie line, metered at the From end; the To
+	// end's outward flow is recovered from the From value only up to
+	// losses, so meter both ends.
+	var ms []meas.Measurement
+	pos := make(map[[2]interface{}]int) // (branch, fromSide) -> index
+	for _, tl := range d.TieLines {
+		for _, fromSide := range []bool{true, false} {
+			key := [2]interface{}{tl.Branch, fromSide}
+			if _, ok := pos[key]; ok {
+				continue
+			}
+			pos[key] = len(ms)
+			ms = append(ms, meas.Measurement{Kind: meas.Pflow, Branch: tl.Branch, FromSide: fromSide, Sigma: 1})
+		}
+	}
+	ref := d.Net.SlackIndex()
+	mod, err := meas.NewModel(d.Net, ms, ref, st.Va[ref])
+	if err != nil {
+		return nil, fmt.Errorf("core: interchange model: %w", err)
+	}
+	h := mod.Eval(mod.StateToVec(st))
+
+	base := d.Net.BaseMVA
+	out := make([]Interchange, len(d.Subsystems))
+	for si := range d.Subsystems {
+		rep := Interchange{Subsystem: si}
+		for _, tl := range d.TieLinesOf(si) {
+			fromSide := tl.SubA == si
+			flow := h[pos[[2]interface{}{tl.Branch, fromSide}]] * base
+			rep.TieFlowsMW = append(rep.TieFlowsMW, flow)
+			rep.NetExportMW += flow
+		}
+		out[si] = rep
+	}
+	return out, nil
+}

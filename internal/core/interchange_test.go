@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestInterchangeReportBalances(t *testing.T) {
+	fx := newFixture(t, grid.Case118, 9, 0)
+	reps, err := fx.dec.InterchangeReport(fx.truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 9 {
+		t.Fatalf("%d reports", len(reps))
+	}
+	// System-wide: exports must cancel up to tie-line losses, which for
+	// the IEEE-118 tie set are a few MW.
+	var total, totalAbs float64
+	for _, r := range reps {
+		if len(r.TieFlowsMW) != len(fx.dec.TieLinesOf(r.Subsystem)) {
+			t.Fatalf("subsystem %d: %d flows for %d ties", r.Subsystem, len(r.TieFlowsMW), len(fx.dec.TieLinesOf(r.Subsystem)))
+		}
+		total += r.NetExportMW
+		totalAbs += math.Abs(r.NetExportMW)
+	}
+	if totalAbs == 0 {
+		t.Fatal("no interchange at all on a decomposed 4 GW system")
+	}
+	if math.Abs(total) > 0.05*totalAbs+20 {
+		t.Errorf("net system interchange %0.1f MW does not cancel (gross %0.1f MW)", total, totalAbs)
+	}
+	// Per-flow consistency: each flow magnitude is physically plausible.
+	for _, r := range reps {
+		for i, f := range r.TieFlowsMW {
+			if math.IsNaN(f) || math.Abs(f) > 1000 {
+				t.Fatalf("subsystem %d tie %d flow %v MW implausible", r.Subsystem, i, f)
+			}
+		}
+	}
+}
+
+func TestInterchangeFromEstimateMatchesTruth(t *testing.T) {
+	fx := newFixture(t, grid.Case118, 9, 1)
+	res, err := RunDSE(fx.dec, fx.ms, DSEOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTruth, err := fx.dec.InterchangeReport(fx.truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromEst, err := fx.dec.InterchangeReport(res.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range fromTruth {
+		d := math.Abs(fromTruth[si].NetExportMW - fromEst[si].NetExportMW)
+		// Angle errors of ~1 mrad across several x≈0.02 pu ties sum to
+		// tens of MW on a 4 GW system; 40 MW (≈1%) is the expected scale.
+		if d > 40 {
+			t.Errorf("subsystem %d interchange error %.1f MW", si, d)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/meas"
+	"repro/internal/medici"
+	"repro/internal/powerflow"
+	"repro/internal/wls"
+)
+
+// Envelope wraps middleware payloads with routing metadata so one site can
+// host many state estimators behind a single endpoint.
+type Envelope struct {
+	Kind    string // "pseudo" | "migrate"
+	FromSub int
+	ToSub   int
+	Payload []byte
+}
+
+// DistributedOptions configures a full architecture run on a simulated
+// multi-cluster testbed.
+type DistributedOptions struct {
+	// Clusters is the number of HPC sites (the paper uses 3).
+	Clusters int
+	// WorkersPerSite sets each site's parallel-solver width.
+	WorkersPerSite int
+	// Transport connects the sites (nil = plain loopback TCP; use a
+	// cluster.ShapedTransport for a lab-network profile).
+	Transport medici.Transport
+	// Map configures the cost-model-driven mapping; see also NoMapping.
+	Map MapOptions
+	// NoMapping replaces the METIS-style mapping with the naive contiguous
+	// assignment (subsystem i -> cluster i·p/m), the paper's Table II
+	// "w/o mapping" baseline.
+	NoMapping bool
+	// HierarchicalRefine makes the hierarchical coordinator re-estimate the
+	// boundary states on the tie-line system instead of just concatenating
+	// subsystem solutions (RunHierarchical only).
+	HierarchicalRefine bool
+	// DSE configures the estimation itself.
+	DSE DSEOptions
+}
+
+// PhaseTimings breaks down a distributed run.
+type PhaseTimings struct {
+	Map          time.Duration // mapping before Step 1
+	Acquire      time.Duration // raw-measurement fetch from the data source
+	Step1        time.Duration
+	Remap        time.Duration // repartition before Step 2
+	Redistribute time.Duration // raw-data migration for re-mapped subsystems
+	Exchange     time.Duration // pseudo-measurement exchange via middleware
+	Step2        time.Duration
+	Aggregate    time.Duration
+	Total        time.Duration
+}
+
+// DistributedResult reports a full architecture run.
+type DistributedResult struct {
+	State        powerflow.State
+	Step1Mapping *Mapping
+	Step2Mapping *Mapping
+	Migrated     []int // subsystems whose cluster changed before Step 2
+	Timings      PhaseTimings
+	// WireBytes counts every byte handed to the middleware (raw-data
+	// acquisition + pseudo exchange + data redistribution).
+	WireBytes int
+	// WireMessages counts middleware sends.
+	WireMessages int
+	// Step1 and Step2 hold per-subsystem estimation results.
+	Step1, Step2 []*wls.Result
+}
+
+// RunDistributed executes the paper's full architecture flow on a simulated
+// testbed: map subsystems to clusters (Figure 4), run DSE Step 1 on each
+// site, remap (Figure 5), redistribute raw data for migrated subsystems,
+// exchange pseudo-measurements through MeDICi-style pipelines, run DSE
+// Step 2, and aggregate the system-wide solution.
+func RunDistributed(d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*DistributedResult, error) {
+	p := opts.Clusters
+	if p <= 0 {
+		p = 3
+	}
+	m := len(d.Subsystems)
+	if p > m {
+		return nil, fmt.Errorf("core: %d clusters for %d subsystems", p, m)
+	}
+	totalStart := time.Now()
+
+	tb, err := cluster.NewTestbed(p, opts.WorkersPerSite, opts.Transport)
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	res := &DistributedResult{
+		Step1: make([]*wls.Result, m),
+		Step2: make([]*wls.Result, m),
+	}
+
+	// --- Mapping before Step 1 (Figure 4). ---
+	start := time.Now()
+	if opts.NoMapping {
+		assign := make([]int, m)
+		for si := range assign {
+			assign[si] = si * p / m
+		}
+		g := d.Graph()
+		res.Step1Mapping = &Mapping{Assign: assign, Imbalance: g.Imbalance(assign, p), EdgeCut: g.EdgeCut(assign)}
+	} else {
+		res.Step1Mapping, err = d.MapStep1(p, opts.Map)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Timings.Map = time.Since(start)
+
+	// --- Raw-data acquisition: each site fetches its subsystems' SCADA
+	// measurements from the data source through the middleware (the
+	// Figure 1 path: data source -> middleware -> data processor). ---
+	probs1 := make([]*Subproblem, m)
+	for si := 0; si < m; si++ {
+		sp, err := d.BuildStep1(si, global)
+		if err != nil {
+			return nil, err
+		}
+		probs1[si] = sp
+	}
+	start = time.Now()
+	source, err := medici.NewDataServer(opts.Transport, "127.0.0.1:0", func(req []byte) ([]byte, error) {
+		si, err := parseSubRequest(req, m)
+		if err != nil {
+			return nil, err
+		}
+		return encodeMeasurements(probs1[si].Model.Meas)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer source.Close()
+	var wireMu sync.Mutex
+	err = runOnSites(tb, res.Step1Mapping.Assign, func(si int, site *cluster.Site) error {
+		payload, err := medici.Fetch(opts.Transport, source.URL(), []byte(fmt.Sprintf("sub:%d", si)), 0)
+		if err != nil {
+			return fmt.Errorf("core: site %s acquiring subsystem %d data: %w", site.Name, si, err)
+		}
+		wireMu.Lock()
+		res.WireBytes += len(payload)
+		res.WireMessages++
+		wireMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Acquire = time.Since(start)
+
+	// --- DSE Step 1 on the sites. ---
+	start = time.Now()
+	err = runOnSites(tb, res.Step1Mapping.Assign, func(si int, site *cluster.Site) error {
+		sp := probs1[si]
+		out := site.RunJobs([]cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		if out[0].Err != nil {
+			return fmt.Errorf("core: step 1 subsystem %d on %s: %w", si, site.Name, out[0].Err)
+		}
+		res.Step1[si] = out[0].Result
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Step1 = time.Since(start)
+
+	// --- Remap before Step 2 (Figure 5). ---
+	start = time.Now()
+	if opts.NoMapping {
+		res.Step2Mapping = res.Step1Mapping
+	} else {
+		res.Step2Mapping, err = d.MapStep2(p, res.Step1Mapping, opts.Map)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Migrated = Migrations(res.Step1Mapping, res.Step2Mapping)
+	res.Timings.Remap = time.Since(start)
+
+	// --- Raw-data redistribution for migrated subsystems. ---
+	start = time.Now()
+	for _, si := range res.Migrated {
+		from := tb.Sites[res.Step1Mapping.Assign[si]]
+		to := tb.Sites[res.Step2Mapping.Assign[si]]
+		payload, err := encodeMeasurements(probs1[si].Model.Meas)
+		if err != nil {
+			return nil, err
+		}
+		if err := sendEnvelope(from, to.Name, Envelope{Kind: "migrate", FromSub: si, ToSub: si, Payload: payload}); err != nil {
+			return nil, err
+		}
+		res.WireBytes += len(payload)
+		res.WireMessages++
+	}
+	// Drain the migration messages (sites would hand them to their data
+	// processors; estimation below reuses the in-memory models).
+	for range res.Migrated {
+		if _, err := recvEnvelopeAny(tb); err != nil {
+			return nil, err
+		}
+	}
+	res.Timings.Redistribute = time.Since(start)
+
+	// --- Pseudo-measurement exchange through the middleware. ---
+	start = time.Now()
+	packets := make([]PseudoPacket, m)
+	for si := 0; si < m; si++ {
+		packets[si] = d.ExtractPseudo(si, probs1[si], res.Step1[si].State)
+	}
+	incoming := make([][]PseudoPacket, m)
+	assign := res.Step2Mapping.Assign
+	// Inter-site packets travel via the middleware; intra-site packets are
+	// handed over in memory (same control center).
+	type expected struct{ toSub int }
+	var wire int
+	for si := 0; si < m; si++ {
+		for _, nb := range d.Neighbors(si) {
+			if assign[si] == assign[nb] {
+				incoming[nb] = append(incoming[nb], packets[si])
+				continue
+			}
+			payload, err := EncodePacket(packets[si])
+			if err != nil {
+				return nil, err
+			}
+			env := Envelope{Kind: "pseudo", FromSub: si, ToSub: nb, Payload: payload}
+			if err := sendEnvelope(tb.Sites[assign[si]], tb.Sites[assign[nb]].Name, env); err != nil {
+				return nil, err
+			}
+			res.WireBytes += len(payload)
+			res.WireMessages++
+			wire++
+		}
+	}
+	for k := 0; k < wire; k++ {
+		env, err := recvEnvelopeAny(tb)
+		if err != nil {
+			return nil, err
+		}
+		pkt, err := DecodePacket(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		incoming[env.ToSub] = append(incoming[env.ToSub], pkt)
+	}
+	res.Timings.Exchange = time.Since(start)
+
+	// --- DSE Step 2 on the (re-mapped) sites. ---
+	probs2 := make([]*Subproblem, m)
+	start = time.Now()
+	err = runOnSites(tb, assign, func(si int, site *cluster.Site) error {
+		sp, err := d.BuildStep2(si, global, incoming[si], opts.DSE.PseudoSigma)
+		if err != nil {
+			return err
+		}
+		probs2[si] = sp
+		out := site.RunJobs([]cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		if out[0].Err != nil {
+			return fmt.Errorf("core: step 2 subsystem %d on %s: %w", si, site.Name, out[0].Err)
+		}
+		res.Step2[si] = out[0].Result
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Step2 = time.Since(start)
+
+	// --- Final step: aggregate. ---
+	start = time.Now()
+	nb := d.Net.N()
+	res.State = powerflow.State{Vm: make([]float64, nb), Va: make([]float64, nb)}
+	for si := 0; si < m; si++ {
+		probs2[si].MergeInto(d, res.Step2[si].State, &res.State)
+	}
+	res.Timings.Aggregate = time.Since(start)
+	res.Timings.Total = time.Since(totalStart)
+	return res, nil
+}
+
+// runOnSites executes fn for every subsystem, grouped per site: each site
+// processes its subsystems sequentially while sites run concurrently —
+// the testbed's execution model.
+func runOnSites(tb *cluster.Testbed, assign []int, fn func(si int, site *cluster.Site) error) error {
+	perSite := make([][]int, len(tb.Sites))
+	for si, c := range assign {
+		perSite[c] = append(perSite[c], si)
+	}
+	errs := make([]error, len(tb.Sites))
+	var wg sync.WaitGroup
+	for c := range tb.Sites {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, si := range perSite[c] {
+				if err := fn(si, tb.Sites[c]); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sendEnvelope(from *cluster.Site, toName string, env Envelope) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("core: encoding envelope: %w", err)
+	}
+	return from.Client().Send(toName, buf.Bytes())
+}
+
+// recvEnvelopeAny receives the next envelope from whichever site has one
+// pending (round-robin polling over the sites' buffered receivers).
+func recvEnvelopeAny(tb *cluster.Testbed) (Envelope, error) {
+	for {
+		for _, s := range tb.Sites {
+			select {
+			case msg := <-s.Client().Messages():
+				var env Envelope
+				if err := gob.NewDecoder(bytes.NewReader(msg)).Decode(&env); err != nil {
+					return Envelope{}, fmt.Errorf("core: decoding envelope: %w", err)
+				}
+				return env, nil
+			default:
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// parseSubRequest decodes a "sub:<idx>" data-source request.
+func parseSubRequest(req []byte, m int) (int, error) {
+	var si int
+	if _, err := fmt.Sscanf(string(req), "sub:%d", &si); err != nil {
+		return 0, fmt.Errorf("core: malformed data request %q", req)
+	}
+	if si < 0 || si >= m {
+		return 0, fmt.Errorf("core: data request for unknown subsystem %d", si)
+	}
+	return si, nil
+}
+
+func encodeMeasurements(ms []meas.Measurement) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ms); err != nil {
+		return nil, fmt.Errorf("core: encoding measurements: %w", err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+)
+
+// PseudoSigmaDefault is the standard deviation assigned to exchanged
+// pseudo-measurements (solved neighbor states). Solved states are more
+// accurate than raw telemetry, so the weight is tighter than meter noise.
+const PseudoSigmaDefault = 0.002
+
+// BusState is one bus's solved state, the unit of pseudo-measurement
+// exchange between neighboring state estimators.
+type BusState struct {
+	BusID int     // external bus number
+	Vm    float64 // per-unit
+	Va    float64 // radians (global PMU-synchronized reference)
+}
+
+// PseudoPacket is what one state estimator sends to a neighbor after DSE
+// Step 1: the solved states of its boundary and sensitive internal buses.
+type PseudoPacket struct {
+	FromSub int
+	States  []BusState
+}
+
+// Subproblem is a subsystem's local estimation problem: a sub-network, a
+// measurement model over it, and the mapping back to global bus indices.
+type Subproblem struct {
+	Sub   *Subsystem
+	Net   *grid.Network // local sub-network (original bus IDs preserved)
+	Model *meas.Model
+	// OwnBuses lists the external IDs of buses owned by this subsystem
+	// (excludes neighbor boundary buses present in a Step-2 network).
+	OwnBuses []int
+	refAngle float64
+	refBusID int // external ID of the angle-reference bus
+}
+
+// RefAngle returns the angle pinning the subproblem's reference bus — the
+// PMU-synchronized angle that keeps all subsystem solutions in one frame.
+func (sp *Subproblem) RefAngle() float64 { return sp.refAngle }
+
+// BuildStep1 constructs subsystem si's DSE Step 1 problem from the global
+// measurement set: the local sub-network (own buses + internal branches)
+// and the locally available measurements — voltage and PMU measurements on
+// own buses, P/Q injections on own non-boundary buses, and P/Q flows on
+// internal branches. The angle reference comes from the PMU angle
+// measurement at the subsystem's reference bus, which must be present
+// (the cited DSE algorithm [5] relies on synchronized phasors).
+func (d *Decomposition) BuildStep1(si int, global []meas.Measurement) (*Subproblem, error) {
+	s := &d.Subsystems[si]
+	localNet, branchMap, err := d.subNetwork(s, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	isBoundary := intSet(s.Boundary)
+	own := intSet(s.Buses)
+
+	refID := d.Net.Buses[s.RefBus].ID
+	refAngle, haveRef := findRefAngle(global, refID)
+	if !haveRef {
+		return nil, fmt.Errorf("core: subsystem %d has no PMU angle measurement at reference bus %d", si, refID)
+	}
+
+	var local []meas.Measurement
+	for _, m := range global {
+		switch m.Kind {
+		case meas.Vmag, meas.Angle:
+			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] {
+				local = append(local, m)
+			}
+		case meas.Pinj, meas.Qinj:
+			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] && !isBoundary[gi] {
+				local = append(local, m)
+			}
+		case meas.Pflow, meas.Qflow:
+			if li, ok := branchMap[m.Branch]; ok {
+				lm := m
+				lm.Branch = li
+				local = append(local, lm)
+			}
+		}
+	}
+	return d.finishSubproblem(s, localNet, local, refAngle)
+}
+
+// BuildStep2 constructs subsystem si's DSE Step 2 problem: the extended
+// sub-network (own buses + internal branches + incident tie lines + the
+// neighbor boundary buses they reach), the Step-1 local measurements plus
+// the measurements "related to the boundary and sensitive internal buses"
+// that Step 1 could not use (boundary-bus injections and tie-line flows
+// metered at the own end), and the neighbors' solved states as
+// pseudo-measurements. pseudo holds the packets received from neighbors;
+// pseudoSigma <= 0 selects PseudoSigmaDefault.
+func (d *Decomposition) BuildStep2(si int, global []meas.Measurement, pseudo []PseudoPacket, pseudoSigma float64) (*Subproblem, error) {
+	s := &d.Subsystems[si]
+	if pseudoSigma <= 0 {
+		pseudoSigma = PseudoSigmaDefault
+	}
+	ties := d.TieLinesOf(si)
+	own := intSet(s.Buses)
+
+	// Neighbor boundary buses reached by incident tie lines.
+	extSet := make(map[int]bool)
+	var tieBranches []int
+	for _, tl := range ties {
+		br := d.Net.Branches[tl.Branch]
+		f, t := d.Net.MustIndex(br.From), d.Net.MustIndex(br.To)
+		if !own[f] {
+			extSet[f] = true
+		}
+		if !own[t] {
+			extSet[t] = true
+		}
+		tieBranches = append(tieBranches, tl.Branch)
+	}
+	ext := make([]int, 0, len(extSet))
+	for b := range extSet {
+		ext = append(ext, b)
+	}
+	sort.Ints(ext)
+
+	localNet, branchMap, err := d.subNetwork(s, ext, tieBranches)
+	if err != nil {
+		return nil, err
+	}
+
+	refID := d.Net.Buses[s.RefBus].ID
+	refAngle, haveRef := findRefAngle(global, refID)
+	if !haveRef {
+		return nil, fmt.Errorf("core: subsystem %d has no PMU angle measurement at reference bus %d", si, refID)
+	}
+
+	var local []meas.Measurement
+	for _, m := range global {
+		switch m.Kind {
+		case meas.Vmag, meas.Angle:
+			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] {
+				local = append(local, m)
+			}
+		case meas.Pinj, meas.Qinj:
+			// All own injections are now computable: boundary buses see
+			// their tie-line neighbors in the extended network.
+			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] {
+				local = append(local, m)
+			}
+		case meas.Pflow, meas.Qflow:
+			li, ok := branchMap[m.Branch]
+			if !ok {
+				continue
+			}
+			// Internal branch flows always; tie-line flows only when the
+			// metered end is an own bus (the neighbor's RTU is remote).
+			br := d.Net.Branches[m.Branch]
+			meterBus := br.To
+			if m.FromSide {
+				meterBus = br.From
+			}
+			if gi, ok := d.Net.Index(meterBus); ok && own[gi] {
+				lm := m
+				lm.Branch = li
+				local = append(local, lm)
+			}
+		}
+	}
+
+	// Pseudo-measurements: neighbors' solved states for the extended buses.
+	for _, pkt := range pseudo {
+		for _, bs := range pkt.States {
+			gi, ok := d.Net.Index(bs.BusID)
+			if !ok || !extSet[gi] {
+				continue // state of a bus outside this extended network
+			}
+			local = append(local,
+				meas.Measurement{Kind: meas.Vmag, Bus: bs.BusID, Sigma: pseudoSigma, Value: bs.Vm},
+				meas.Measurement{Kind: meas.Angle, Bus: bs.BusID, Sigma: pseudoSigma, Value: bs.Va})
+		}
+	}
+	return d.finishSubproblem(s, localNet, local, refAngle)
+}
+
+// subNetwork assembles a sub-network of own buses plus optional extra buses
+// and branches. Bus types are normalized: the subsystem reference becomes
+// the slack, everything else PQ (estimation never reads bus types, but the
+// grid package validates them).
+func (d *Decomposition) subNetwork(s *Subsystem, extraBuses, extraBranches []int) (*grid.Network, map[int]int, error) {
+	var buses []grid.Bus
+	include := make(map[int]bool)
+	addBus := func(gi int) {
+		if include[gi] {
+			return
+		}
+		include[gi] = true
+		b := d.Net.Buses[gi]
+		if gi == s.RefBus {
+			b.Type = grid.Slack
+		} else {
+			b.Type = grid.PQ
+		}
+		buses = append(buses, b)
+	}
+	for _, gi := range s.Buses {
+		addBus(gi)
+	}
+	for _, gi := range extraBuses {
+		addBus(gi)
+	}
+
+	branchMap := make(map[int]int) // global branch index -> local index
+	var branches []grid.Branch
+	for _, bi := range s.InternalBranches {
+		branchMap[bi] = len(branches)
+		branches = append(branches, d.Net.Branches[bi])
+	}
+	for _, bi := range extraBranches {
+		branchMap[bi] = len(branches)
+		branches = append(branches, d.Net.Branches[bi])
+	}
+
+	var gens []grid.Gen
+	for _, g := range d.Net.Gens {
+		if gi, ok := d.Net.Index(g.Bus); ok && include[gi] {
+			gens = append(gens, g)
+		}
+	}
+	name := fmt.Sprintf("%s-sub%d", d.Net.Name, s.Index)
+	net, err := grid.New(name, d.Net.BaseMVA, buses, branches, gens)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: building %s: %w", name, err)
+	}
+	return net, branchMap, nil
+}
+
+func (d *Decomposition) finishSubproblem(s *Subsystem, localNet *grid.Network, ms []meas.Measurement, refAngle float64) (*Subproblem, error) {
+	refID := d.Net.Buses[s.RefBus].ID
+	localRef, ok := localNet.Index(refID)
+	if !ok {
+		return nil, fmt.Errorf("core: reference bus %d missing from sub-network", refID)
+	}
+	mod, err := meas.NewModel(localNet, ms, localRef, refAngle)
+	if err != nil {
+		return nil, fmt.Errorf("core: subsystem %d model: %w", s.Index, err)
+	}
+	ownIDs := make([]int, len(s.Buses))
+	for i, gi := range s.Buses {
+		ownIDs[i] = d.Net.Buses[gi].ID
+	}
+	return &Subproblem{
+		Sub: s, Net: localNet, Model: mod, OwnBuses: ownIDs,
+		refAngle: refAngle, refBusID: refID,
+	}, nil
+}
+
+// ReplaceMeasurements rebuilds the subproblem's model with a different
+// measurement set over the same sub-network (used by observability
+// restoration).
+func (sp *Subproblem) ReplaceMeasurements(ms []meas.Measurement) error {
+	localRef, ok := sp.Net.Index(sp.refBusID)
+	if !ok {
+		return fmt.Errorf("core: reference bus %d missing from sub-network", sp.refBusID)
+	}
+	mod, err := meas.NewModel(sp.Net, ms, localRef, sp.refAngle)
+	if err != nil {
+		return err
+	}
+	sp.Model = mod
+	return nil
+}
+
+// ExtractPseudo packages the boundary and sensitive-internal bus states of
+// subsystem si from a solved local state — the payload sent to every
+// neighbor after Step 1.
+func (d *Decomposition) ExtractPseudo(si int, sp *Subproblem, st powerflow.State) PseudoPacket {
+	s := &d.Subsystems[si]
+	pkt := PseudoPacket{FromSub: si}
+	emit := func(gi int) {
+		id := d.Net.Buses[gi].ID
+		li, ok := sp.Net.Index(id)
+		if !ok {
+			return
+		}
+		pkt.States = append(pkt.States, BusState{BusID: id, Vm: st.Vm[li], Va: st.Va[li]})
+	}
+	for _, b := range s.Boundary {
+		emit(b)
+	}
+	for _, b := range s.Sensitive {
+		emit(b)
+	}
+	return pkt
+}
+
+// MergeInto writes the subproblem's solved own-bus states into a global
+// state vector (indexed by the full network's internal bus order).
+func (sp *Subproblem) MergeInto(d *Decomposition, st powerflow.State, global *powerflow.State) {
+	for _, id := range sp.OwnBuses {
+		li := sp.Net.MustIndex(id)
+		gi := d.Net.MustIndex(id)
+		global.Vm[gi] = st.Vm[li]
+		global.Va[gi] = st.Va[li]
+	}
+}
+
+func findRefAngle(ms []meas.Measurement, busID int) (float64, bool) {
+	for _, m := range ms {
+		if m.Kind == meas.Angle && m.Bus == busID {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+func intSet(xs []int) map[int]bool {
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/meas"
+)
+
+// Tracker runs distributed state estimation over successive measurement
+// frames (the SCADA/PMU acquisition cycles), warm-starting every
+// subsystem's Step-1 solve from the previous frame's solution. This is the
+// real-time operating mode the architecture targets: the estimator tracks
+// the slowly drifting system state instead of re-solving from scratch.
+type Tracker struct {
+	Dec  *Decomposition
+	Opts DSEOptions
+
+	warm [][]float64
+	// Frames counts processed frames.
+	Frames int
+}
+
+// NewTracker prepares a tracker for the decomposition.
+func NewTracker(d *Decomposition, opts DSEOptions) *Tracker {
+	return &Tracker{Dec: d, Opts: opts}
+}
+
+// Process runs one full DSE pass on a measurement frame and retains the
+// per-subsystem solutions as the next frame's warm start.
+func (t *Tracker) Process(frame []meas.Measurement) (*DSEResult, error) {
+	opts := t.Opts
+	opts.WarmStart = t.warm
+	res, err := RunDSE(t.Dec, frame, opts)
+	if err != nil {
+		return nil, err
+	}
+	if t.warm == nil {
+		t.warm = make([][]float64, len(t.Dec.Subsystems))
+	}
+	for si, r := range res.Step1 {
+		if r != nil {
+			t.warm[si] = r.X
+		}
+	}
+	t.Frames++
+	return res, nil
+}
+
+// Reset drops the warm-start state (after a topology change, for example,
+// the old state vectors no longer match the subproblem layout).
+func (t *Tracker) Reset() {
+	t.warm = nil
+	t.Frames = 0
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+	"repro/internal/scada"
+)
+
+func TestTrackerWarmStartsReduceIterations(t *testing.T) {
+	fx := newFixture(t, grid.Case118, 9, 1)
+	plan := meas.FullPlan().Build(fx.net)
+	plan = append(plan, PMUPlanFor(fx.dec, plan, 0.0005)...)
+	feed := scada.NewSCADAFeed(fx.net, fx.truth, plan, 21)
+	feed.Drift = 0.001
+
+	tracker := NewTracker(fx.dec, DSEOptions{})
+	var first, later int
+	const frames = 4
+	for k := 0; k < frames; k++ {
+		fr, err := feed.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tracker.Process(fr.Measurements)
+		if err != nil {
+			t.Fatalf("frame %d: %v", k, err)
+		}
+		if k == 0 {
+			first = res.Step1Stats.Iterations
+		} else {
+			later += res.Step1Stats.Iterations
+		}
+		// Every frame's solution stays close to the (drifting) truth.
+		var worst float64
+		for i := range res.State.Vm {
+			if d := math.Abs(res.State.Vm[i] - fx.truth.Vm[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 0.05 {
+			t.Fatalf("frame %d max Vm error %g", k, worst)
+		}
+	}
+	if tracker.Frames != frames {
+		t.Fatalf("frames = %d", tracker.Frames)
+	}
+	avgLater := float64(later) / float64(frames-1)
+	if avgLater > float64(first) {
+		t.Errorf("warm-started frames average %.1f GN iterations vs cold %d", avgLater, first)
+	}
+	t.Logf("step-1 iterations: cold %d, warm avg %.1f", first, avgLater)
+}
+
+func TestTrackerReset(t *testing.T) {
+	fx := newFixture(t, grid.Case30, 3, 1)
+	tracker := NewTracker(fx.dec, DSEOptions{})
+	if _, err := tracker.Process(fx.ms); err != nil {
+		t.Fatal(err)
+	}
+	tracker.Reset()
+	if tracker.Frames != 0 || tracker.warm != nil {
+		t.Fatal("reset incomplete")
+	}
+	if _, err := tracker.Process(fx.ms); err != nil {
+		t.Fatalf("process after reset: %v", err)
+	}
+}
+
+// TestDSEWithTopologyChange: a tie-line outage changes the decomposition;
+// re-decomposing and re-running must keep working — the Bose et al.
+// network-failure scenario the architecture must accommodate.
+func TestDSEWithTopologyChange(t *testing.T) {
+	n := grid.Case118()
+	// Outage one line (not a radial one): 49-66 first circuit.
+	out := -1
+	for bi, br := range n.Branches {
+		if br.From == 49 && br.To == 66 {
+			out = bi
+			break
+		}
+	}
+	if out < 0 {
+		t.Fatal("branch 49-66 not found")
+	}
+	n.Branches[out].Status = false
+	if !n.Connected() {
+		t.Fatal("outage should not island (double circuit)")
+	}
+	pfRes, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := pfRes.State
+	dec, err := Decompose(n, 9, DecomposeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := meas.FullPlan().Build(n)
+	plan = append(plan, PMUPlanFor(dec, plan, 0.0005)...)
+	ms, err := meas.Simulate(n, plan, pf, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDSE(dec, ms, DSEOptions{})
+	if err != nil {
+		t.Fatalf("DSE after topology change: %v", err)
+	}
+	var worst float64
+	for i := range res.State.Vm {
+		if d := math.Abs(res.State.Vm[i] - pf.Vm[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.03 {
+		t.Errorf("max Vm error %g after topology change", worst)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+)
+
+// TestDSEOnSyntheticInterconnection runs the full DSE flow on a multi-area
+// synthetic grid decomposed along its balancing-authority borders — the
+// paper's WECC ongoing-work scenario at test-friendly scale.
+func TestDSEOnSyntheticInterconnection(t *testing.T) {
+	const areas = 6
+	n, err := grid.SynthWECC(grid.SynthOptions{Areas: areas, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true, MaxIter: 40})
+	if err != nil {
+		t.Fatalf("powerflow: %v", err)
+	}
+	dec, err := DecomposeWithParts(n, areas, grid.AreaParts(n), 1)
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	if len(dec.Subsystems) != areas {
+		t.Fatalf("%d subsystems", len(dec.Subsystems))
+	}
+	// Area-based decomposition preserves the 118-bus blocks.
+	for _, s := range dec.Subsystems {
+		if len(s.Buses) != 118 {
+			t.Fatalf("subsystem %d has %d buses, want 118", s.Index, len(s.Buses))
+		}
+		if len(s.Boundary) == 0 {
+			t.Fatalf("subsystem %d has no boundary buses", s.Index)
+		}
+	}
+	plan := meas.FullPlan().Build(n)
+	plan = append(plan, PMUPlanFor(dec, plan, 0.0005)...)
+	ms, err := meas.Simulate(n, plan, pf.State, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDSE(dec, ms, DSEOptions{})
+	if err != nil {
+		t.Fatalf("RunDSE: %v", err)
+	}
+	var worst float64
+	for i := range pf.State.Vm {
+		if d := math.Abs(res.State.Vm[i] - pf.State.Vm[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.03 {
+		t.Errorf("max Vm error %g on %d-bus interconnection", worst, n.N())
+	}
+	if res.ExchangeBytes == 0 {
+		t.Error("no exchange recorded")
+	}
+}

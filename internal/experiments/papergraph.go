@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// PaperDecompositionGraph returns the exact 9-subsystem IEEE-118
+// decomposition graph of the paper's Figure 3 / Table I: vertex weights are
+// the subsystem bus counts (14,13,13,13,13,12,14,13,13) and edge weights
+// the sums of the endpoint bus counts.
+func PaperDecompositionGraph() *partition.Graph {
+	g := partition.NewGraph(9)
+	weights := []float64{14, 13, 13, 13, 13, 12, 14, 13, 13}
+	for i, w := range weights {
+		g.SetVertexWeight(i, w)
+	}
+	for _, e := range [][2]int{
+		{1, 2}, {1, 4}, {1, 5}, {2, 3}, {2, 6}, {3, 6},
+		{4, 5}, {4, 7}, {5, 6}, {5, 7}, {5, 8}, {7, 9},
+	} {
+		u, v := e[0]-1, e[1]-1
+		g.AddEdge(u, v, weights[u]+weights[v])
+	}
+	return g
+}
+
+// RunFig4Paper partitions the paper's exact decomposition graph onto p
+// clusters for DSE Step 1 (uniform edge weights, balance objective).
+// The paper reports a load-imbalance ratio of 1.035 on 3 clusters.
+func RunFig4Paper(p int, seed int64) (MappingFigure, error) {
+	g := PaperDecompositionGraph()
+	step1 := g.Clone()
+	for _, e := range g.Edges() {
+		if err := step1.SetEdgeWeight(int(e[0]), int(e[1]), 1); err != nil {
+			return MappingFigure{}, err
+		}
+	}
+	res, err := partition.KWay(step1, p, partition.Options{Seed: seed})
+	if err != nil {
+		return MappingFigure{}, fmt.Errorf("fig4 paper graph: %w", err)
+	}
+	// Report imbalance/cut against the real (Table I) weights.
+	return MappingFigure{
+		Assign:    res.Parts,
+		Imbalance: g.Imbalance(res.Parts, p),
+		EdgeCut:   g.EdgeCut(res.Parts),
+	}, nil
+}
+
+// RunFig5Paper repartitions the paper's graph for DSE Step 2 with the
+// Table I edge weights active (communication-aware). The paper reports
+// 1.079 with subsystems 4 and 5 swapping clusters.
+func RunFig5Paper(p int, seed int64) (MappingFigure, error) {
+	f4, err := RunFig4Paper(p, seed)
+	if err != nil {
+		return MappingFigure{}, err
+	}
+	g := PaperDecompositionGraph()
+	res, err := partition.Repartition(g, p, f4.Assign, partition.Options{Seed: seed})
+	if err != nil {
+		return MappingFigure{}, fmt.Errorf("fig5 paper graph: %w", err)
+	}
+	var migrated []int
+	for i := range f4.Assign {
+		if f4.Assign[i] != res.Parts[i] {
+			migrated = append(migrated, i+1) // paper numbers subsystems 1..9
+		}
+	}
+	return MappingFigure{
+		Assign:    res.Parts,
+		Imbalance: res.Imbalance,
+		EdgeCut:   res.EdgeCut,
+		Migrated:  migrated,
+	}, nil
+}

@@ -1,0 +1,56 @@
+package grid
+
+// Case14 returns the IEEE 14-bus test system (MATPOWER case14 values):
+// 14 buses, 20 branches, 5 generating units, 100 MVA base.
+func Case14() *Network {
+	buses := []Bus{
+		{ID: 1, Type: Slack, Vm: 1.060, BaseKV: 132},
+		{ID: 2, Type: PV, Pd: 21.7, Qd: 12.7, Vm: 1.045, BaseKV: 132},
+		{ID: 3, Type: PV, Pd: 94.2, Qd: 19.0, Vm: 1.010, BaseKV: 132},
+		{ID: 4, Type: PQ, Pd: 47.8, Qd: -3.9, Vm: 1.0, BaseKV: 132},
+		{ID: 5, Type: PQ, Pd: 7.6, Qd: 1.6, Vm: 1.0, BaseKV: 132},
+		{ID: 6, Type: PV, Pd: 11.2, Qd: 7.5, Vm: 1.070, BaseKV: 33},
+		{ID: 7, Type: PQ, Vm: 1.0, BaseKV: 33},
+		{ID: 8, Type: PV, Vm: 1.090, BaseKV: 11},
+		{ID: 9, Type: PQ, Pd: 29.5, Qd: 16.6, Bs: 19, Vm: 1.0, BaseKV: 33},
+		{ID: 10, Type: PQ, Pd: 9.0, Qd: 5.8, Vm: 1.0, BaseKV: 33},
+		{ID: 11, Type: PQ, Pd: 3.5, Qd: 1.8, Vm: 1.0, BaseKV: 33},
+		{ID: 12, Type: PQ, Pd: 6.1, Qd: 1.6, Vm: 1.0, BaseKV: 33},
+		{ID: 13, Type: PQ, Pd: 13.5, Qd: 5.8, Vm: 1.0, BaseKV: 33},
+		{ID: 14, Type: PQ, Pd: 14.9, Qd: 5.0, Vm: 1.0, BaseKV: 33},
+	}
+	branches := []Branch{
+		{From: 1, To: 2, R: 0.01938, X: 0.05917, B: 0.0528, Status: true},
+		{From: 1, To: 5, R: 0.05403, X: 0.22304, B: 0.0492, Status: true},
+		{From: 2, To: 3, R: 0.04699, X: 0.19797, B: 0.0438, Status: true},
+		{From: 2, To: 4, R: 0.05811, X: 0.17632, B: 0.0340, Status: true},
+		{From: 2, To: 5, R: 0.05695, X: 0.17388, B: 0.0346, Status: true},
+		{From: 3, To: 4, R: 0.06701, X: 0.17103, B: 0.0128, Status: true},
+		{From: 4, To: 5, R: 0.01335, X: 0.04211, Status: true},
+		{From: 4, To: 7, X: 0.20912, Tap: 0.978, Status: true},
+		{From: 4, To: 9, X: 0.55618, Tap: 0.969, Status: true},
+		{From: 5, To: 6, X: 0.25202, Tap: 0.932, Status: true},
+		{From: 6, To: 11, R: 0.09498, X: 0.19890, Status: true},
+		{From: 6, To: 12, R: 0.12291, X: 0.25581, Status: true},
+		{From: 6, To: 13, R: 0.06615, X: 0.13027, Status: true},
+		{From: 7, To: 8, X: 0.17615, Status: true},
+		{From: 7, To: 9, X: 0.11001, Status: true},
+		{From: 9, To: 10, R: 0.03181, X: 0.08450, Status: true},
+		{From: 9, To: 14, R: 0.12711, X: 0.27038, Status: true},
+		{From: 10, To: 11, R: 0.08205, X: 0.19207, Status: true},
+		{From: 12, To: 13, R: 0.22092, X: 0.19988, Status: true},
+		{From: 13, To: 14, R: 0.17093, X: 0.34802, Status: true},
+	}
+	gens := []Gen{
+		{Bus: 1, Pg: 232.4, Qg: -16.9, Vset: 1.060, Status: true},
+		{Bus: 2, Pg: 40.0, Qg: 42.4, Vset: 1.045, Status: true},
+		{Bus: 3, Qg: 23.4, Vset: 1.010, Status: true},
+		{Bus: 6, Qg: 12.2, Vset: 1.070, Status: true},
+		{Bus: 8, Qg: 17.4, Vset: 1.090, Status: true},
+	}
+	n, err := New("ieee14", 100, buses, branches, gens)
+	if err != nil {
+		panic("grid: Case14 construction failed: " + err.Error())
+	}
+	return n
+}

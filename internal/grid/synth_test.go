@@ -1,0 +1,92 @@
+package grid
+
+import "testing"
+
+func TestSynthWECCShape(t *testing.T) {
+	n, err := SynthWECC(SynthOptions{Areas: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 4*118 {
+		t.Fatalf("buses = %d, want %d", n.N(), 4*118)
+	}
+	if !n.Connected() {
+		t.Fatal("synthetic grid not connected")
+	}
+	slack := 0
+	for _, b := range n.Buses {
+		if b.Type == Slack {
+			slack++
+		}
+	}
+	if slack != 1 {
+		t.Fatalf("%d slack buses", slack)
+	}
+	// Inter-area ties exist.
+	ties := 0
+	for _, br := range n.Branches {
+		f, _ := n.Index(br.From)
+		to, _ := n.Index(br.To)
+		if n.Buses[f].Area != n.Buses[to].Area {
+			ties++
+		}
+	}
+	if ties < 4 {
+		t.Fatalf("only %d inter-area ties", ties)
+	}
+}
+
+func TestSynthWECCDeterministic(t *testing.T) {
+	a, err := SynthWECC(SynthOptions{Areas: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynthWECC(SynthOptions{Areas: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Branches) != len(b.Branches) {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.Branches {
+		if a.Branches[i] != b.Branches[i] {
+			t.Fatalf("branch %d differs", i)
+		}
+	}
+}
+
+func TestSynthWECCAreaParts(t *testing.T) {
+	n, err := SynthWECC(SynthOptions{Areas: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := AreaParts(n)
+	counts := map[int]int{}
+	for _, p := range parts {
+		counts[p]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("%d areas", len(counts))
+	}
+	for a, c := range counts {
+		if c != 118 {
+			t.Fatalf("area %d has %d buses", a, c)
+		}
+	}
+}
+
+func TestSynthWECCValidation(t *testing.T) {
+	if _, err := SynthWECC(SynthOptions{Areas: 0}); err == nil {
+		t.Fatal("areas=0 accepted")
+	}
+}
+
+func TestSynthWECCTwoAreas(t *testing.T) {
+	n, err := SynthWECC(SynthOptions{Areas: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Connected() {
+		t.Fatal("2-area grid not connected")
+	}
+}

@@ -1,0 +1,113 @@
+package grid
+
+import (
+	"math"
+	"sort"
+)
+
+// YBus is the complex nodal admittance matrix Y = G + jB in a CSR-like
+// layout with parallel real and imaginary value arrays. Indices are
+// internal bus indices.
+type YBus struct {
+	N      int
+	RowPtr []int
+	ColIdx []int
+	G, B   []float64
+}
+
+// BuildYBus constructs the admittance matrix from the in-service branches
+// and bus shunts using the standard two-port transformer model:
+//
+//	Yff = (ys + j·bc/2) / τ²
+//	Yft = −ys / (τ·e^{−jθ})
+//	Ytf = −ys / (τ·e^{+jθ})
+//	Ytt =  ys + j·bc/2
+//
+// with series admittance ys = 1/(r + jx), charging bc, tap τ and shift θ.
+func BuildYBus(n *Network) *YBus {
+	nb := n.N()
+	type key struct{ row, col int }
+	type cval struct{ g, b float64 }
+	acc := make(map[key]cval, 8*nb)
+	add := func(i, j int, g, b float64) {
+		k := key{i, j}
+		v := acc[k]
+		v.g += g
+		v.b += b
+		acc[k] = v
+	}
+	for _, br := range n.InService() {
+		f := n.MustIndex(br.From)
+		t := n.MustIndex(br.To)
+		den := br.R*br.R + br.X*br.X
+		gs := br.R / den
+		bs := -br.X / den
+		tap := br.Tap
+		if tap == 0 {
+			tap = 1
+		}
+		cosS, sinS := math.Cos(br.Shift), math.Sin(br.Shift)
+		bc2 := br.B / 2
+
+		add(f, f, gs/(tap*tap), (bs+bc2)/(tap*tap)) // Yff
+		add(t, t, gs, bs+bc2)                       // Ytt
+		// Yft = −(ys·e^{+jθ})/τ
+		add(f, t, -(gs*cosS-bs*sinS)/tap, -(bs*cosS+gs*sinS)/tap)
+		// Ytf = −(ys·e^{−jθ})/τ
+		add(t, f, -(gs*cosS+bs*sinS)/tap, -(bs*cosS-gs*sinS)/tap)
+	}
+	for i, bus := range n.Buses {
+		if bus.Gs != 0 || bus.Bs != 0 {
+			add(i, i, bus.Gs/n.BaseMVA, bus.Bs/n.BaseMVA)
+		}
+	}
+
+	keys := make([]key, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].row != keys[b].row {
+			return keys[a].row < keys[b].row
+		}
+		return keys[a].col < keys[b].col
+	})
+	y := &YBus{
+		N:      nb,
+		RowPtr: make([]int, nb+1),
+		ColIdx: make([]int, 0, len(keys)),
+		G:      make([]float64, 0, len(keys)),
+		B:      make([]float64, 0, len(keys)),
+	}
+	for _, k := range keys {
+		v := acc[k]
+		y.ColIdx = append(y.ColIdx, k.col)
+		y.G = append(y.G, v.g)
+		y.B = append(y.B, v.b)
+		y.RowPtr[k.row+1]++
+	}
+	for i := 0; i < nb; i++ {
+		y.RowPtr[i+1] += y.RowPtr[i]
+	}
+	return y
+}
+
+// At returns Y(i,j) as (g, b); zero if not stored.
+func (y *YBus) At(i, j int) (g, b float64) {
+	for k := y.RowPtr[i]; k < y.RowPtr[i+1]; k++ {
+		if y.ColIdx[k] == j {
+			return y.G[k], y.B[k]
+		}
+	}
+	return 0, 0
+}
+
+// Row invokes f for every stored entry (j, g, b) of row i.
+func (y *YBus) Row(i int, f func(j int, g, b float64)) {
+	for k := y.RowPtr[i]; k < y.RowPtr[i+1]; k++ {
+		f(y.ColIdx[k], y.G[k], y.B[k])
+	}
+}
+
+// NNZ returns the number of stored entries.
+func (y *YBus) NNZ() int { return len(y.ColIdx) }

@@ -1,0 +1,372 @@
+// Package meas implements the measurement layer of state estimation: the
+// measurement types delivered by SCADA RTUs and PMUs, the nonlinear
+// states-to-measurements function z = h(x) + e, its sparse Jacobian H(x),
+// and simulators that draw noisy measurement sets from a solved operating
+// state.
+package meas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/powerflow"
+	"repro/internal/sparse"
+)
+
+// Kind enumerates measurement types.
+type Kind int
+
+// Measurement kinds. Vmag/Pinj/Qinj/Angle reference a bus; Pflow/Qflow
+// reference a branch end.
+const (
+	Vmag  Kind = iota + 1 // bus voltage magnitude, pu
+	Pinj                  // bus active power injection, pu
+	Qinj                  // bus reactive power injection, pu
+	Pflow                 // branch active power flow, pu
+	Qflow                 // branch reactive power flow, pu
+	Angle                 // PMU bus voltage angle, rad
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Vmag:
+		return "V"
+	case Pinj:
+		return "Pinj"
+	case Qinj:
+		return "Qinj"
+	case Pflow:
+		return "Pflow"
+	case Qflow:
+		return "Qflow"
+	case Angle:
+		return "Angle"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Measurement is one telemetered quantity with its noise model.
+type Measurement struct {
+	Kind     Kind
+	Bus      int     // external bus number (Vmag, Pinj, Qinj, Angle)
+	Branch   int     // index into Network.Branches (Pflow, Qflow)
+	FromSide bool    // flow measured at the From end (else To end)
+	Value    float64 // telemetered value, pu (rad for Angle)
+	Sigma    float64 // standard deviation of the meter noise
+}
+
+// Key returns a stable identity for the measured quantity (ignoring value).
+func (m Measurement) Key() string {
+	switch m.Kind {
+	case Pflow, Qflow:
+		side := "t"
+		if m.FromSide {
+			side = "f"
+		}
+		return fmt.Sprintf("%s:br%d:%s", m.Kind, m.Branch, side)
+	default:
+		return fmt.Sprintf("%s:bus%d", m.Kind, m.Bus)
+	}
+}
+
+// Model evaluates h(x) and H(x) for a fixed network and measurement set.
+// The state vector is x = [θ at every non-reference bus, V at every bus],
+// with the reference (slack) angle fixed at its known value.
+type Model struct {
+	Net  *grid.Network
+	Meas []Measurement
+
+	y        *grid.YBus
+	refBus   int   // internal index of the angle-reference bus
+	angPos   []int // internal bus index -> angle position in x, -1 for ref
+	nAngles  int
+	refAngle float64
+}
+
+// NewModel builds a measurement model. ref is the internal index of the
+// angle-reference bus (normally the slack); refAngle its fixed angle.
+func NewModel(n *grid.Network, ms []Measurement, ref int, refAngle float64) (*Model, error) {
+	if ref < 0 || ref >= n.N() {
+		return nil, fmt.Errorf("meas: reference bus index %d out of range", ref)
+	}
+	for i, m := range ms {
+		switch m.Kind {
+		case Vmag, Pinj, Qinj, Angle:
+			if _, ok := n.Index(m.Bus); !ok {
+				return nil, fmt.Errorf("meas: measurement %d references unknown bus %d", i, m.Bus)
+			}
+		case Pflow, Qflow:
+			if m.Branch < 0 || m.Branch >= len(n.Branches) {
+				return nil, fmt.Errorf("meas: measurement %d references unknown branch %d", i, m.Branch)
+			}
+			if !n.Branches[m.Branch].Status {
+				return nil, fmt.Errorf("meas: measurement %d references out-of-service branch %d", i, m.Branch)
+			}
+		default:
+			return nil, fmt.Errorf("meas: measurement %d has invalid kind %v", i, m.Kind)
+		}
+		if m.Sigma <= 0 {
+			return nil, fmt.Errorf("meas: measurement %d has non-positive sigma %g", i, m.Sigma)
+		}
+	}
+	mod := &Model{
+		Net: n, Meas: ms, y: grid.BuildYBus(n),
+		refBus: ref, refAngle: refAngle,
+	}
+	mod.angPos = make([]int, n.N())
+	pos := 0
+	for i := range mod.angPos {
+		if i == ref {
+			mod.angPos[i] = -1
+			continue
+		}
+		mod.angPos[i] = pos
+		pos++
+	}
+	mod.nAngles = pos
+	return mod, nil
+}
+
+// NState returns the state dimension: (#buses − 1) angles + #buses magnitudes.
+func (mod *Model) NState() int { return mod.nAngles + mod.Net.N() }
+
+// NMeas returns the number of measurements.
+func (mod *Model) NMeas() int { return len(mod.Meas) }
+
+// StateToVec packs a powerflow.State into the state vector layout.
+func (mod *Model) StateToVec(st powerflow.State) []float64 {
+	x := make([]float64, mod.NState())
+	for i, p := range mod.angPos {
+		if p >= 0 {
+			x[p] = st.Va[i]
+		}
+	}
+	copy(x[mod.nAngles:], st.Vm)
+	return x
+}
+
+// VecToState unpacks a state vector into Vm/Va arrays (the reference angle
+// is restored).
+func (mod *Model) VecToState(x []float64) powerflow.State {
+	nb := mod.Net.N()
+	st := powerflow.State{Vm: make([]float64, nb), Va: make([]float64, nb)}
+	for i, p := range mod.angPos {
+		if p >= 0 {
+			st.Va[i] = x[p]
+		} else {
+			st.Va[i] = mod.refAngle
+		}
+	}
+	copy(st.Vm, x[mod.nAngles:])
+	return st
+}
+
+// FlatVec returns the flat-start state vector (angles at the reference
+// angle, magnitudes at 1 pu).
+func (mod *Model) FlatVec() []float64 {
+	x := make([]float64, mod.NState())
+	for i := 0; i < mod.nAngles; i++ {
+		x[i] = mod.refAngle
+	}
+	for i := mod.nAngles; i < len(x); i++ {
+		x[i] = 1
+	}
+	return x
+}
+
+// branchY returns the two-port admittance blocks of branch br.
+func branchY(br grid.Branch) (gff, bff, gft, bft, gtf, btf, gtt, btt float64) {
+	den := br.R*br.R + br.X*br.X
+	gs := br.R / den
+	bs := -br.X / den
+	tap := br.Tap
+	if tap == 0 {
+		tap = 1
+	}
+	c, s := math.Cos(br.Shift), math.Sin(br.Shift)
+	bc2 := br.B / 2
+	gff = gs / (tap * tap)
+	bff = (bs + bc2) / (tap * tap)
+	gtt = gs
+	btt = bs + bc2
+	gft = -(gs*c - bs*s) / tap
+	bft = -(bs*c + gs*s) / tap
+	gtf = -(gs*c + bs*s) / tap
+	btf = -(bs*c - gs*s) / tap
+	return
+}
+
+// Eval computes h(x) for the model's measurement set.
+func (mod *Model) Eval(x []float64) []float64 {
+	st := mod.VecToState(x)
+	h := make([]float64, len(mod.Meas))
+	var p, q []float64 // lazily computed injections
+	for mi, m := range mod.Meas {
+		switch m.Kind {
+		case Vmag:
+			h[mi] = st.Vm[mod.Net.MustIndex(m.Bus)]
+		case Angle:
+			h[mi] = st.Va[mod.Net.MustIndex(m.Bus)]
+		case Pinj, Qinj:
+			if p == nil {
+				p = make([]float64, mod.Net.N())
+				q = make([]float64, mod.Net.N())
+				calcInj(mod.y, st.Vm, st.Va, p, q)
+			}
+			i := mod.Net.MustIndex(m.Bus)
+			if m.Kind == Pinj {
+				h[mi] = p[i]
+			} else {
+				h[mi] = q[i]
+			}
+		case Pflow, Qflow:
+			pf, qf := mod.flow(m, st)
+			if m.Kind == Pflow {
+				h[mi] = pf
+			} else {
+				h[mi] = qf
+			}
+		}
+	}
+	return h
+}
+
+// flow evaluates the complex power flow at one end of a branch.
+func (mod *Model) flow(m Measurement, st powerflow.State) (pf, qf float64) {
+	br := mod.Net.Branches[m.Branch]
+	f := mod.Net.MustIndex(br.From)
+	t := mod.Net.MustIndex(br.To)
+	gff, bff, gft, bft, gtf, btf, gtt, btt := branchY(br)
+	if !m.FromSide {
+		f, t = t, f
+		gff, bff, gft, bft = gtt, btt, gtf, btf
+	}
+	vf, vt := st.Vm[f], st.Vm[t]
+	th := st.Va[f] - st.Va[t]
+	c, s := math.Cos(th), math.Sin(th)
+	pf = vf*vf*gff + vf*vt*(gft*c+bft*s)
+	qf = -vf*vf*bff + vf*vt*(gft*s-bft*c)
+	return
+}
+
+// calcInj mirrors powerflow's injection computation (duplicated here to keep
+// the packages independent; both are covered by tests against each other).
+func calcInj(y *grid.YBus, vm, va, p, q []float64) {
+	for i := 0; i < y.N; i++ {
+		var pi, qi float64
+		y.Row(i, func(j int, g, b float64) {
+			th := va[i] - va[j]
+			c, s := math.Cos(th), math.Sin(th)
+			pi += vm[j] * (g*c + b*s)
+			qi += vm[j] * (g*s - b*c)
+		})
+		p[i] = vm[i] * pi
+		q[i] = vm[i] * qi
+	}
+}
+
+// Jacobian assembles the sparse measurement Jacobian H(x) with one row per
+// measurement and one column per state variable.
+func (mod *Model) Jacobian(x []float64) *sparse.CSR {
+	st := mod.VecToState(x)
+	nb := mod.Net.N()
+	coo := sparse.NewCOO(len(mod.Meas), mod.NState())
+	addA := func(row, bus int, v float64) { // d/dθ_bus
+		if p := mod.angPos[bus]; p >= 0 && v != 0 {
+			coo.Add(row, p, v)
+		}
+	}
+	addV := func(row, bus int, v float64) { // d/dV_bus
+		if v != 0 {
+			coo.Add(row, mod.nAngles+bus, v)
+		}
+	}
+
+	var pc, qc []float64
+	injections := func() ([]float64, []float64) {
+		if pc == nil {
+			pc = make([]float64, nb)
+			qc = make([]float64, nb)
+			calcInj(mod.y, st.Vm, st.Va, pc, qc)
+		}
+		return pc, qc
+	}
+
+	for mi, m := range mod.Meas {
+		switch m.Kind {
+		case Vmag:
+			addV(mi, mod.Net.MustIndex(m.Bus), 1)
+		case Angle:
+			addA(mi, mod.Net.MustIndex(m.Bus), 1)
+		case Pinj:
+			p, q := injections()
+			i := mod.Net.MustIndex(m.Bus)
+			vi := st.Vm[i]
+			mod.y.Row(i, func(k int, g, b float64) {
+				if k == i {
+					addA(mi, i, -q[i]-b*vi*vi)
+					addV(mi, i, p[i]/vi+g*vi)
+					return
+				}
+				th := st.Va[i] - st.Va[k]
+				c, s := math.Cos(th), math.Sin(th)
+				addA(mi, k, vi*st.Vm[k]*(g*s-b*c))
+				addV(mi, k, vi*(g*c+b*s))
+			})
+		case Qinj:
+			p, q := injections()
+			i := mod.Net.MustIndex(m.Bus)
+			vi := st.Vm[i]
+			mod.y.Row(i, func(k int, g, b float64) {
+				if k == i {
+					addA(mi, i, p[i]-g*vi*vi)
+					addV(mi, i, q[i]/vi-b*vi)
+					return
+				}
+				th := st.Va[i] - st.Va[k]
+				c, s := math.Cos(th), math.Sin(th)
+				addA(mi, k, -vi*st.Vm[k]*(g*c+b*s))
+				addV(mi, k, vi*(g*s-b*c))
+			})
+		case Pflow, Qflow:
+			br := mod.Net.Branches[m.Branch]
+			f := mod.Net.MustIndex(br.From)
+			t := mod.Net.MustIndex(br.To)
+			gff, bff, gft, bft, gtf, btf, gtt, btt := branchY(br)
+			if !m.FromSide {
+				f, t = t, f
+				gff, bff, gft, bft = gtt, btt, gtf, btf
+			}
+			vf, vt := st.Vm[f], st.Vm[t]
+			th := st.Va[f] - st.Va[t]
+			c, s := math.Cos(th), math.Sin(th)
+			if m.Kind == Pflow {
+				// Pf = Vf²·gff + Vf·Vt·(gft·c + bft·s)
+				dThf := vf * vt * (-gft*s + bft*c)
+				addA(mi, f, dThf)
+				addA(mi, t, -dThf)
+				addV(mi, f, 2*vf*gff+vt*(gft*c+bft*s))
+				addV(mi, t, vf*(gft*c+bft*s))
+			} else {
+				// Qf = −Vf²·bff + Vf·Vt·(gft·s − bft·c)
+				dThf := vf * vt * (gft*c + bft*s)
+				addA(mi, f, dThf)
+				addA(mi, t, -dThf)
+				addV(mi, f, -2*vf*bff+vt*(gft*s-bft*c))
+				addV(mi, t, vf*(gft*s-bft*c))
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Weights returns the WLS weight vector w_i = 1/σ_i².
+func (mod *Model) Weights() []float64 {
+	w := make([]float64, len(mod.Meas))
+	for i, m := range mod.Meas {
+		w[i] = 1 / (m.Sigma * m.Sigma)
+	}
+	return w
+}

@@ -1,0 +1,165 @@
+package meas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/grid"
+	"repro/internal/powerflow"
+)
+
+// Sigmas carries the per-kind meter standard deviations (per-unit; radians
+// for PMU angles). Typical SCADA practice: flows/injections noisier than
+// voltage magnitude, PMUs an order of magnitude better.
+type Sigmas struct {
+	Vmag  float64
+	Pinj  float64
+	Qinj  float64
+	Pflow float64
+	Qflow float64
+	Angle float64
+}
+
+// DefaultSigmas returns conventional SE meter accuracies.
+func DefaultSigmas() Sigmas {
+	return Sigmas{
+		Vmag:  0.004,
+		Pinj:  0.01,
+		Qinj:  0.01,
+		Pflow: 0.008,
+		Qflow: 0.008,
+		Angle: 0.001,
+	}
+}
+
+func (s Sigmas) of(k Kind) float64 {
+	switch k {
+	case Vmag:
+		return s.Vmag
+	case Pinj:
+		return s.Pinj
+	case Qinj:
+		return s.Qinj
+	case Pflow:
+		return s.Pflow
+	case Qflow:
+		return s.Qflow
+	case Angle:
+		return s.Angle
+	}
+	return 0
+}
+
+// PlanOptions selects which quantities are metered.
+type PlanOptions struct {
+	// VoltageAt: fraction of buses carrying a V magnitude meter [0,1].
+	VoltageAt float64
+	// InjectionsAt: fraction of buses with P/Q injection meters.
+	InjectionsAt float64
+	// FlowsAt: fraction of branch ends with P/Q flow meters.
+	FlowsAt float64
+	// PMUAt: fraction of buses with PMUs (V magnitude + angle, tight sigma).
+	PMUAt float64
+	// Sigmas; zero value selects DefaultSigmas.
+	Sigmas Sigmas
+	// Seed drives the placement selection (deterministic).
+	Seed int64
+}
+
+// FullPlan meters everything: V at every bus, P/Q injections at every bus,
+// and P/Q flows at both ends of every in-service branch. This is the
+// conventional high-redundancy test configuration (redundancy ≈ 4–5).
+func FullPlan() PlanOptions {
+	return PlanOptions{VoltageAt: 1, InjectionsAt: 1, FlowsAt: 1, Sigmas: DefaultSigmas()}
+}
+
+// RTUPlan is a realistic mid-redundancy SCADA configuration.
+func RTUPlan(seed int64) PlanOptions {
+	return PlanOptions{VoltageAt: 0.7, InjectionsAt: 0.8, FlowsAt: 0.6, Sigmas: DefaultSigmas(), Seed: seed}
+}
+
+// Build constructs the measurement set (without values) for a network.
+func (o PlanOptions) Build(n *grid.Network) []Measurement {
+	sig := o.Sigmas
+	if sig == (Sigmas{}) {
+		sig = DefaultSigmas()
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	var ms []Measurement
+	pick := func(frac float64) bool {
+		if frac >= 1 {
+			return true
+		}
+		if frac <= 0 {
+			return false
+		}
+		return rng.Float64() < frac
+	}
+	for _, b := range n.Buses {
+		if pick(o.VoltageAt) {
+			ms = append(ms, Measurement{Kind: Vmag, Bus: b.ID, Sigma: sig.Vmag})
+		}
+		if pick(o.InjectionsAt) {
+			ms = append(ms,
+				Measurement{Kind: Pinj, Bus: b.ID, Sigma: sig.Pinj},
+				Measurement{Kind: Qinj, Bus: b.ID, Sigma: sig.Qinj})
+		}
+		if o.PMUAt > 0 && pick(o.PMUAt) {
+			ms = append(ms,
+				Measurement{Kind: Vmag, Bus: b.ID, Sigma: sig.Angle}, // PMU-grade magnitude
+				Measurement{Kind: Angle, Bus: b.ID, Sigma: sig.Angle})
+		}
+	}
+	for bi, br := range n.Branches {
+		if !br.Status {
+			continue
+		}
+		if pick(o.FlowsAt) {
+			ms = append(ms,
+				Measurement{Kind: Pflow, Branch: bi, FromSide: true, Sigma: sig.Pflow},
+				Measurement{Kind: Qflow, Branch: bi, FromSide: true, Sigma: sig.Qflow})
+		}
+		if pick(o.FlowsAt) {
+			ms = append(ms,
+				Measurement{Kind: Pflow, Branch: bi, FromSide: false, Sigma: sig.Pflow},
+				Measurement{Kind: Qflow, Branch: bi, FromSide: false, Sigma: sig.Qflow})
+		}
+	}
+	return ms
+}
+
+// Simulate fills measurement values from a true operating state, adding
+// zero-mean Gaussian noise of each measurement's sigma scaled by
+// noiseLevel (1 = nominal meter noise, 0 = perfect meters).
+func Simulate(n *grid.Network, ms []Measurement, truth powerflow.State, noiseLevel float64, seed int64) ([]Measurement, error) {
+	ref := n.SlackIndex()
+	mod, err := NewModel(n, ms, ref, truth.Va[ref])
+	if err != nil {
+		return nil, err
+	}
+	h := mod.Eval(mod.StateToVec(truth))
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Measurement, len(ms))
+	for i, m := range ms {
+		m.Value = h[i] + noiseLevel*m.Sigma*rng.NormFloat64()
+		out[i] = m
+	}
+	return out, nil
+}
+
+// InjectBadData corrupts the measurement at index idx by shifting its value
+// by gross·sigma, returning a copy of the slice. Used by the bad-data
+// detection tests and the baddata example.
+func InjectBadData(ms []Measurement, idx int, gross float64) ([]Measurement, error) {
+	if idx < 0 || idx >= len(ms) {
+		return nil, fmt.Errorf("meas: bad-data index %d out of range %d", idx, len(ms))
+	}
+	out := append([]Measurement(nil), ms...)
+	out[idx].Value += gross * out[idx].Sigma
+	return out, nil
+}
+
+// Redundancy returns the measurement redundancy ratio m / (2n−1).
+func Redundancy(n *grid.Network, ms []Measurement) float64 {
+	return float64(len(ms)) / float64(2*n.N()-1)
+}

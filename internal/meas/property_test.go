@@ -1,0 +1,134 @@
+package meas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/powerflow"
+)
+
+// randomRadialNetwork builds a random tree-shaped network with plausible
+// branch parameters — always connected and power-flow friendly.
+func randomRadialNetwork(rng *rand.Rand, nb int) *grid.Network {
+	buses := make([]grid.Bus, nb)
+	for i := range buses {
+		buses[i] = grid.Bus{
+			ID:   i + 1,
+			Type: grid.PQ,
+			Pd:   5 + 20*rng.Float64(),
+			Qd:   1 + 6*rng.Float64(),
+			Vm:   1,
+		}
+	}
+	buses[0].Type = grid.Slack
+	buses[0].Vm = 1.02
+	buses[0].Pd, buses[0].Qd = 0, 0
+	branches := make([]grid.Branch, 0, nb-1)
+	for i := 1; i < nb; i++ {
+		parent := rng.Intn(i)
+		branches = append(branches, grid.Branch{
+			From:   parent + 1,
+			To:     i + 1,
+			R:      0.005 + 0.02*rng.Float64(),
+			X:      0.02 + 0.08*rng.Float64(),
+			B:      0.01 * rng.Float64(),
+			Status: true,
+		})
+	}
+	// A couple of loop closures for meshing.
+	for k := 0; k < nb/4; k++ {
+		a, b := rng.Intn(nb)+1, rng.Intn(nb)+1
+		if a != b {
+			branches = append(branches, grid.Branch{
+				From: a, To: b,
+				R: 0.01 + 0.02*rng.Float64(), X: 0.05 + 0.1*rng.Float64(),
+				Status: true,
+			})
+		}
+	}
+	gens := []grid.Gen{{Bus: 1, Pg: 0, Vset: 1.02, Status: true}}
+	n, err := grid.New("random", 100, buses, branches, gens)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Property: on random meshed networks at random operating points, the
+// analytic Jacobian matches central finite differences for a sample of
+// entries.
+func TestJacobianFiniteDifferenceRandomNetworksQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomRadialNetwork(rng, 5+rng.Intn(12))
+		pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true, MaxIter: 40})
+		if err != nil {
+			return true // infeasible random loading: skip, not a failure
+		}
+		ms, err := Simulate(n, FullPlan().Build(n), pf.State, 0, seed)
+		if err != nil {
+			return false
+		}
+		mod, err := NewModel(n, ms, n.SlackIndex(), pf.State.Va[n.SlackIndex()])
+		if err != nil {
+			return false
+		}
+		x := mod.StateToVec(pf.State)
+		hj := mod.Jacobian(x)
+		const eps = 1e-6
+		// Sample a handful of columns.
+		for trial := 0; trial < 4; trial++ {
+			col := rng.Intn(mod.NState())
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[col] += eps
+			xm[col] -= eps
+			hp := mod.Eval(xp)
+			hm := mod.Eval(xm)
+			for row := 0; row < mod.NMeas(); row++ {
+				fd := (hp[row] - hm[row]) / (2 * eps)
+				if math.Abs(fd-hj.At(row, col)) > 1e-4*(1+math.Abs(fd)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: zero-noise simulation is self-consistent — h(truth) equals the
+// simulated values on any random network.
+func TestSimulateSelfConsistentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomRadialNetwork(rng, 4+rng.Intn(10))
+		pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true, MaxIter: 40})
+		if err != nil {
+			return true
+		}
+		ms, err := Simulate(n, FullPlan().Build(n), pf.State, 0, seed)
+		if err != nil {
+			return false
+		}
+		mod, err := NewModel(n, ms, n.SlackIndex(), pf.State.Va[n.SlackIndex()])
+		if err != nil {
+			return false
+		}
+		h := mod.Eval(mod.StateToVec(pf.State))
+		for i, m := range ms {
+			if math.Abs(h[i]-m.Value) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package medici
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// MWClient is the interface-layer middleware client deployed on each HPC
+// cluster's master node (the paper's MW_Client_Send / MW_Client_Recv).
+// Sends resolve the destination through the registry and go through the
+// configured pipeline inbound endpoint; receives drain the local data
+// buffer fed by the client's own listening endpoint.
+type MWClient struct {
+	name      string
+	transport Transport
+	frame     Protocol
+	registry  *Registry
+	recv      *Receiver
+}
+
+// NewMWClient creates a client named name, listening on listenAddr
+// (host:port, ":0" for ephemeral), using the registry for destination
+// resolution. bufDepth sizes the local data buffer.
+func NewMWClient(name, listenAddr string, reg *Registry, tr Transport, frame Protocol, bufDepth int) (*MWClient, error) {
+	if tr == nil {
+		tr = TCPTransport{}
+	}
+	if frame == nil {
+		frame = NewEOFProtocol()
+	}
+	rcv, err := NewReceiver(tr, listenAddr, frame, bufDepth)
+	if err != nil {
+		return nil, err
+	}
+	c := &MWClient{name: name, transport: tr, frame: frame, registry: reg, recv: rcv}
+	if err := reg.Register(name, c.URL()); err != nil {
+		rcv.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// URL returns this client's own inbound endpoint URL.
+func (c *MWClient) URL() string { return c.recv.URL() }
+
+// Name returns the client's registered name.
+func (c *MWClient) Name() string { return c.name }
+
+// Send transmits data to the named destination: it resolves the
+// destination URL (normally a MeDICi pipeline inbound endpoint that relays
+// to the destination estimator), dials it and writes one framed message.
+func (c *MWClient) Send(dst string, data []byte) error {
+	url, err := c.registry.Resolve(dst)
+	if err != nil {
+		return err
+	}
+	return c.SendURL(url, data)
+}
+
+// SendURL transmits one framed message straight to a tcp:// URL.
+func (c *MWClient) SendURL(url string, data []byte) error {
+	ep, err := ParseEndpoint(url)
+	if err != nil {
+		return err
+	}
+	conn, err := c.transport.Dial(ep.Addr())
+	if err != nil {
+		return fmt.Errorf("medici: dial %s: %w", ep.Addr(), err)
+	}
+	werr := c.frame.WriteMessage(conn, data)
+	cerr := conn.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Recv blocks until one message arrives in the local data buffer. It
+// returns an error when the client is closed.
+func (c *MWClient) Recv() ([]byte, error) { return c.recv.Recv() }
+
+// Messages exposes the local data buffer channel.
+func (c *MWClient) Messages() <-chan []byte { return c.recv.Messages() }
+
+// Close stops the client's receiver.
+func (c *MWClient) Close() error { return c.recv.Close() }
+
+// Receiver listens on an endpoint and buffers every framed message it
+// accepts into a channel — the "local data buffer" of the paper's interface
+// layer.
+type Receiver struct {
+	ln    net.Listener
+	frame Protocol
+	ch    chan []byte
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewReceiver binds addr and starts accepting.
+func NewReceiver(tr Transport, addr string, frame Protocol, depth int) (*Receiver, error) {
+	if tr == nil {
+		tr = TCPTransport{}
+	}
+	if frame == nil {
+		frame = NewEOFProtocol()
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("medici: listen %s: %w", addr, err)
+	}
+	r := &Receiver{ln: ln, frame: frame, ch: make(chan []byte, depth), done: make(chan struct{})}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+func (r *Receiver) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			for {
+				msg, err := r.frame.ReadMessage(conn)
+				if err != nil {
+					if !errors.Is(err, io.EOF) {
+						log.Printf("medici: receiver %s: %v", r.ln.Addr(), err)
+					}
+					return
+				}
+				select {
+				case r.ch <- msg:
+				case <-r.done:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Recv blocks for the next message.
+func (r *Receiver) Recv() ([]byte, error) {
+	select {
+	case msg := <-r.ch:
+		return msg, nil
+	case <-r.done:
+		// Drain anything already buffered before reporting closure.
+		select {
+		case msg := <-r.ch:
+			return msg, nil
+		default:
+			return nil, errors.New("medici: receiver closed")
+		}
+	}
+}
+
+// Messages returns the buffered message channel.
+func (r *Receiver) Messages() <-chan []byte { return r.ch }
+
+// URL returns the receiver's bound endpoint URL.
+func (r *Receiver) URL() string { return "tcp://" + r.ln.Addr().String() }
+
+// Addr returns the bound host:port.
+func (r *Receiver) Addr() string { return r.ln.Addr().String() }
+
+// Close shuts the listener, waits for handlers, and closes the buffer.
+func (r *Receiver) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.done)
+		r.closeErr = r.ln.Close()
+		r.wg.Wait()
+	})
+	return r.closeErr
+}

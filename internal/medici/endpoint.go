@@ -1,0 +1,96 @@
+package medici
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Endpoint is a parsed "tcp://host:port" URL (the paper identifies every
+// state estimator and data source by such a URL).
+type Endpoint struct {
+	Scheme string // only "tcp" is supported
+	Host   string
+	Port   string
+}
+
+// ParseEndpoint parses a tcp:// URL.
+func ParseEndpoint(url string) (Endpoint, error) {
+	const prefix = "tcp://"
+	if !strings.HasPrefix(url, prefix) {
+		return Endpoint{}, fmt.Errorf("medici: endpoint %q must start with tcp://", url)
+	}
+	hostport := strings.TrimPrefix(url, prefix)
+	host, port, err := net.SplitHostPort(hostport)
+	if err != nil {
+		return Endpoint{}, fmt.Errorf("medici: endpoint %q: %w", url, err)
+	}
+	return Endpoint{Scheme: "tcp", Host: host, Port: port}, nil
+}
+
+// Addr returns the host:port form for net dialing/listening.
+func (e Endpoint) Addr() string { return net.JoinHostPort(e.Host, e.Port) }
+
+// URL returns the canonical tcp:// form.
+func (e Endpoint) URL() string { return "tcp://" + e.Addr() }
+
+// Transport abstracts connection establishment so tests and the cluster
+// network simulator can substitute shaped links for plain TCP.
+type Transport interface {
+	Dial(addr string) (net.Conn, error)
+	Listen(addr string) (net.Listener, error)
+}
+
+// TCPTransport is the default plain-TCP transport.
+type TCPTransport struct{}
+
+// Dial implements Transport.
+func (TCPTransport) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Listen implements Transport.
+func (TCPTransport) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Registry maps state-estimator names to their endpoint URLs — the
+// middleware's URL resolution service. Safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]string)} }
+
+// Register binds name to the given tcp:// URL, replacing any previous
+// binding.
+func (r *Registry) Register(name, url string) error {
+	if _, err := ParseEndpoint(url); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[name] = url
+	return nil
+}
+
+// Resolve returns the URL bound to name.
+func (r *Registry) Resolve(name string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	url, ok := r.m[name]
+	if !ok {
+		return "", fmt.Errorf("medici: unknown destination %q", name)
+	}
+	return url, nil
+}
+
+// Names returns the registered names (unordered).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	return out
+}

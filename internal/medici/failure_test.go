@@ -1,0 +1,201 @@
+package medici
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPipelineSurvivesDeadOutbound: a relay whose outbound endpoint is
+// unreachable must log and drop the message, not wedge the pipeline —
+// later messages to a repaired endpoint still flow.
+func TestPipelineSurvivesDeadOutbound(t *testing.T) {
+	// Reserve an address and close it so dialing fails.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "tcp://" + dead.Addr().String()
+	dead.Close()
+
+	p := NewMifPipeline("dead-dst")
+	p.AddMifConnector(TCP)
+	c := NewComponent("SE")
+	if err := c.SetInboundEndpoint("tcp://127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetOutboundEndpoint(deadURL); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddMifComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	reg := NewRegistry()
+	src, err := NewMWClient("src", "127.0.0.1:0", reg, nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	// Message to a dead destination: send succeeds (the pipeline accepted
+	// it), the relay fails internally.
+	if err := src.SendURL(p.InboundURLs()[0], []byte("lost")); err != nil {
+		t.Fatalf("send into pipeline: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// The pipeline must still be alive: repair the destination by starting
+	// a receiver elsewhere and pointing a second component... simplest
+	// check: the inbound endpoint still accepts connections.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(p.InboundURLs()[0], "tcp://"))
+	if err != nil {
+		t.Fatalf("pipeline listener died after relay failure: %v", err)
+	}
+	conn.Close()
+}
+
+// TestReceiverSurvivesMalformedFrame: a length-prefix header announcing an
+// absurd size must kill only that connection, not the receiver.
+func TestReceiverSurvivesMalformedFrame(t *testing.T) {
+	frame := LengthPrefixProtocol{MaxMessage: 1 << 20}
+	r, err := NewReceiver(nil, "127.0.0.1:0", frame, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Hostile header: 2^60 bytes.
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], 1<<60)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	// A well-formed message still gets through.
+	good, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frame.WriteMessage(good, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	good.Close()
+	msg, err := r.Recv()
+	if err != nil {
+		t.Fatalf("receiver dead after malformed frame: %v", err)
+	}
+	if string(msg) != "ok" {
+		t.Fatalf("got %q", msg)
+	}
+}
+
+// TestReceiverSurvivesTruncatedBody: a frame whose body is cut short by a
+// connection drop must not corrupt subsequent messages.
+func TestReceiverSurvivesTruncatedBody(t *testing.T) {
+	frame := LengthPrefixProtocol{}
+	r, err := NewReceiver(nil, "127.0.0.1:0", frame, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	conn, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], 100)
+	conn.Write(hdr[:])
+	conn.Write([]byte("only ten b")) // 10 of 100 bytes, then drop
+	conn.Close()
+	time.Sleep(20 * time.Millisecond)
+
+	good, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frame.WriteMessage(good, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	good.Close()
+	msg, err := r.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "intact" {
+		t.Fatalf("got %q", msg)
+	}
+}
+
+// TestSendToClosedReceiver: sends to a closed endpoint fail cleanly.
+func TestSendToClosedReceiver(t *testing.T) {
+	reg := NewRegistry()
+	dst, err := NewMWClient("dst", "127.0.0.1:0", reg, nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewMWClient("src", "127.0.0.1:0", reg, nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst.Close()
+	if err := src.Send("dst", []byte("x")); err == nil {
+		// Connection may be accepted by the OS backlog before close
+		// propagates; either a send error or a clean no-op is acceptable,
+		// but a second send must certainly fail.
+		if err2 := src.Send("dst", []byte("y")); err2 == nil {
+			t.Fatal("sends to closed receiver keep succeeding")
+		}
+	}
+}
+
+// TestRecvAfterCloseDrainsBuffered: messages already buffered are
+// deliverable after Close.
+func TestRecvAfterCloseDrainsBuffered(t *testing.T) {
+	reg := NewRegistry()
+	dst, err := NewMWClient("dst", "127.0.0.1:0", reg, nil, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewMWClient("src", "127.0.0.1:0", reg, nil, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Send("dst", []byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until delivered into the buffer.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(dst.Messages()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("message never buffered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dst.Close()
+	msg, err := dst.Recv()
+	if err != nil {
+		t.Fatalf("buffered message lost on close: %v", err)
+	}
+	if string(msg) != "buffered" {
+		t.Fatalf("got %q", msg)
+	}
+	if _, err := dst.Recv(); err == nil {
+		t.Fatal("second recv after close should fail")
+	}
+}

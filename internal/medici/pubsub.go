@@ -1,0 +1,202 @@
+package medici
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+)
+
+// The publish/subscribe layer mirrors GridStat (Bakken et al.), the
+// middleware the paper's related-work section discusses for power-grid
+// status dissemination: publishers push topic-tagged updates (e.g. PMU
+// streams) to a broker, and each subscriber receives them at its own
+// requested rate — the broker decimates faster streams per subscriber,
+// GridStat's core QoS mechanism.
+
+// pubFrame is the broker wire format (gob inside length-prefix frames).
+type pubFrame struct {
+	Topic   string
+	Payload []byte
+}
+
+// Broker is a topic-based publish/subscribe router with per-subscriber
+// rate control.
+type Broker struct {
+	recv      *Receiver
+	transport Transport
+	frame     Protocol
+
+	mu   sync.Mutex
+	subs map[string][]*subscription
+	wg   sync.WaitGroup
+}
+
+type subscription struct {
+	url     string
+	minGap  time.Duration // 1/maxRate; 0 = every message
+	last    time.Time
+	dropped int
+}
+
+// NewBroker starts a broker listening on addr (":0" = ephemeral).
+func NewBroker(addr string, tr Transport, depth int) (*Broker, error) {
+	if tr == nil {
+		tr = TCPTransport{}
+	}
+	frame := LengthPrefixProtocol{}
+	recv, err := NewReceiver(tr, addr, frame, depth)
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{recv: recv, transport: tr, frame: frame, subs: make(map[string][]*subscription)}
+	b.wg.Add(1)
+	go b.dispatchLoop()
+	return b, nil
+}
+
+// URL returns the broker's publish endpoint.
+func (b *Broker) URL() string { return b.recv.URL() }
+
+// Subscribe registers url to receive topic updates at most maxRate
+// messages per second (0 = unthrottled). Registering the same URL again
+// replaces its rate.
+func (b *Broker) Subscribe(topic, url string, maxRate float64) error {
+	if _, err := ParseEndpoint(url); err != nil {
+		return err
+	}
+	var gap time.Duration
+	if maxRate > 0 {
+		gap = time.Duration(float64(time.Second) / maxRate)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs[topic] {
+		if s.url == url {
+			s.minGap = gap
+			return nil
+		}
+	}
+	b.subs[topic] = append(b.subs[topic], &subscription{url: url, minGap: gap})
+	return nil
+}
+
+// Unsubscribe removes url from a topic.
+func (b *Broker) Unsubscribe(topic, url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	list := b.subs[topic]
+	for i, s := range list {
+		if s.url == url {
+			b.subs[topic] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Dropped returns how many updates were decimated for (topic, url).
+func (b *Broker) Dropped(topic, url string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs[topic] {
+		if s.url == url {
+			return s.dropped
+		}
+	}
+	return 0
+}
+
+func (b *Broker) dispatchLoop() {
+	defer b.wg.Done()
+	for {
+		msg, err := b.recv.Recv()
+		if err != nil {
+			return // broker closed
+		}
+		var f pubFrame
+		if err := gob.NewDecoder(bytes.NewReader(msg)).Decode(&f); err != nil {
+			log.Printf("medici: broker: bad publish frame: %v", err)
+			continue
+		}
+		b.deliver(f)
+	}
+}
+
+func (b *Broker) deliver(f pubFrame) {
+	now := time.Now()
+	b.mu.Lock()
+	var targets []string
+	for _, s := range b.subs[f.Topic] {
+		if s.minGap > 0 && now.Sub(s.last) < s.minGap {
+			s.dropped++
+			continue // decimated for this subscriber
+		}
+		s.last = now
+		targets = append(targets, s.url)
+	}
+	b.mu.Unlock()
+	for _, url := range targets {
+		ep, err := ParseEndpoint(url)
+		if err != nil {
+			continue
+		}
+		conn, err := b.transport.Dial(ep.Addr())
+		if err != nil {
+			log.Printf("medici: broker: subscriber %s unreachable: %v", url, err)
+			continue
+		}
+		if err := b.frame.WriteMessage(conn, f.Payload); err != nil {
+			log.Printf("medici: broker: delivering to %s: %v", url, err)
+		}
+		conn.Close()
+	}
+}
+
+// Close stops the broker.
+func (b *Broker) Close() error {
+	err := b.recv.Close()
+	b.wg.Wait()
+	return err
+}
+
+// Publisher pushes topic updates to a broker.
+type Publisher struct {
+	broker    string
+	transport Transport
+	frame     Protocol
+}
+
+// NewPublisher returns a publisher bound to the broker's publish URL.
+func NewPublisher(brokerURL string, tr Transport) (*Publisher, error) {
+	if _, err := ParseEndpoint(brokerURL); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		tr = TCPTransport{}
+	}
+	return &Publisher{broker: brokerURL, transport: tr, frame: LengthPrefixProtocol{}}, nil
+}
+
+// Publish sends one topic update.
+func (p *Publisher) Publish(topic string, payload []byte) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pubFrame{Topic: topic, Payload: payload}); err != nil {
+		return fmt.Errorf("medici: encoding publish frame: %w", err)
+	}
+	ep, err := ParseEndpoint(p.broker)
+	if err != nil {
+		return err
+	}
+	conn, err := p.transport.Dial(ep.Addr())
+	if err != nil {
+		return fmt.Errorf("medici: dialing broker: %w", err)
+	}
+	werr := p.frame.WriteMessage(conn, buf.Bytes())
+	cerr := conn.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,182 @@
+package medici
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newSubscriber(t *testing.T) *Receiver {
+	t.Helper()
+	r, err := NewReceiver(nil, "127.0.0.1:0", LengthPrefixProtocol{}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func drainCount(r *Receiver, wait time.Duration) int {
+	deadline := time.After(wait)
+	count := 0
+	for {
+		select {
+		case <-r.Messages():
+			count++
+		case <-deadline:
+			return count
+		}
+	}
+}
+
+func TestPubSubDelivery(t *testing.T) {
+	broker, err := NewBroker("127.0.0.1:0", nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	sub := newSubscriber(t)
+	if err := broker.Subscribe("pmu/area1", sub.URL(), 0); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(broker.URL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := pub.Publish("pmu/area1", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drainCount(sub, 500*time.Millisecond); got != 5 {
+		t.Fatalf("subscriber got %d of 5 messages", got)
+	}
+}
+
+func TestPubSubTopicIsolation(t *testing.T) {
+	broker, err := NewBroker("127.0.0.1:0", nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	a := newSubscriber(t)
+	b := newSubscriber(t)
+	broker.Subscribe("topicA", a.URL(), 0)
+	broker.Subscribe("topicB", b.URL(), 0)
+	pub, err := NewPublisher(broker.URL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Publish("topicA", []byte("for A"))
+	pub.Publish("topicA", []byte("for A again"))
+	pub.Publish("topicB", []byte("for B"))
+	if got := drainCount(a, 400*time.Millisecond); got != 2 {
+		t.Errorf("A got %d, want 2", got)
+	}
+	if got := drainCount(b, 400*time.Millisecond); got != 1 {
+		t.Errorf("B got %d, want 1", got)
+	}
+}
+
+func TestPubSubRateDecimation(t *testing.T) {
+	// GridStat's QoS: a slow subscriber gets a decimated stream. Publish a
+	// 100-message burst; a 10 msg/s subscriber must see far fewer than an
+	// unthrottled one.
+	broker, err := NewBroker("127.0.0.1:0", nil, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	fast := newSubscriber(t)
+	slow := newSubscriber(t)
+	broker.Subscribe("pmu", fast.URL(), 0)
+	broker.Subscribe("pmu", slow.URL(), 10)
+	pub, err := NewPublisher(broker.URL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 100
+	for i := 0; i < burst; i++ {
+		if err := pub.Publish("pmu", []byte(fmt.Sprintf("sample-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fastN := drainCount(fast, time.Second)
+	slowN := drainCount(slow, time.Second)
+	if fastN != burst {
+		t.Errorf("unthrottled subscriber got %d of %d", fastN, burst)
+	}
+	if slowN >= fastN/2 {
+		t.Errorf("throttled subscriber got %d, expected far fewer than %d", slowN, fastN)
+	}
+	if slowN == 0 {
+		t.Error("throttled subscriber got nothing")
+	}
+	if d := broker.Dropped("pmu", slow.URL()); d != burst-slowN {
+		t.Errorf("dropped count %d, want %d", d, burst-slowN)
+	}
+}
+
+func TestPubSubDeadSubscriberDoesNotBlockOthers(t *testing.T) {
+	broker, err := NewBroker("127.0.0.1:0", nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	dead := newSubscriber(t)
+	deadURL := dead.URL()
+	dead.Close()
+	alive := newSubscriber(t)
+	broker.Subscribe("t", deadURL, 0)
+	broker.Subscribe("t", alive.URL(), 0)
+	pub, err := NewPublisher(broker.URL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pub.Publish("t", []byte{byte(i)})
+	}
+	if got := drainCount(alive, 500*time.Millisecond); got != 3 {
+		t.Fatalf("live subscriber got %d of 3 despite dead peer", got)
+	}
+}
+
+func TestPubSubUnsubscribeAndResubscribe(t *testing.T) {
+	broker, err := NewBroker("127.0.0.1:0", nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	sub := newSubscriber(t)
+	broker.Subscribe("t", sub.URL(), 0)
+	broker.Unsubscribe("t", sub.URL())
+	pub, err := NewPublisher(broker.URL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Publish("t", []byte("missed"))
+	if got := drainCount(sub, 300*time.Millisecond); got != 0 {
+		t.Fatalf("unsubscribed receiver got %d messages", got)
+	}
+	// Re-subscribe with a new rate replaces cleanly.
+	broker.Subscribe("t", sub.URL(), 0)
+	broker.Subscribe("t", sub.URL(), 5) // replacement, not duplicate
+	pub.Publish("t", []byte("hit"))
+	if got := drainCount(sub, 400*time.Millisecond); got != 1 {
+		t.Fatalf("resubscribed receiver got %d messages, want 1 (no duplicates)", got)
+	}
+}
+
+func TestPubSubValidation(t *testing.T) {
+	broker, err := NewBroker("127.0.0.1:0", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	if err := broker.Subscribe("t", "not-a-url", 0); err == nil {
+		t.Error("bad subscriber URL accepted")
+	}
+	if _, err := NewPublisher("nonsense", nil); err == nil {
+		t.Error("bad broker URL accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package medici
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// The request/reply path implements the paper's data-retrieval flow: "a
+// middleware client sends the request for data to the destination URL. The
+// middleware resolves the location by the URL, routes the requests and
+// fetches remote measurement data into a local data buffer." A DataServer
+// exposes a fetch handler at an endpoint; Fetch dials it, sends the
+// request and reads the reply on the same connection (length-prefix
+// framed).
+
+// Handler produces the reply for one data request. Returning an error
+// sends an error frame to the caller.
+type Handler func(request []byte) ([]byte, error)
+
+// DataServer serves fetch requests at a TCP endpoint.
+type DataServer struct {
+	ln      net.Listener
+	frame   LengthPrefixProtocol
+	handler Handler
+	wg      sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewDataServer binds addr and serves requests with handler.
+func NewDataServer(tr Transport, addr string, handler Handler) (*DataServer, error) {
+	if tr == nil {
+		tr = TCPTransport{}
+	}
+	if handler == nil {
+		return nil, errors.New("medici: nil fetch handler")
+	}
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("medici: data server listen %s: %w", addr, err)
+	}
+	s := &DataServer{ln: ln, handler: handler}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// URL returns the server's endpoint URL.
+func (s *DataServer) URL() string { return "tcp://" + s.ln.Addr().String() }
+
+func (s *DataServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			req, err := s.frame.ReadMessage(conn)
+			if err != nil {
+				log.Printf("medici: data server: reading request: %v", err)
+				return
+			}
+			reply, err := s.handler(req)
+			// Status byte prefix: 0 = ok, 1 = handler error (message follows).
+			var out []byte
+			if err != nil {
+				out = append([]byte{1}, []byte(err.Error())...)
+			} else {
+				out = append([]byte{0}, reply...)
+			}
+			if err := s.frame.WriteMessage(conn, out); err != nil {
+				log.Printf("medici: data server: writing reply: %v", err)
+			}
+		}()
+	}
+}
+
+// Close stops the server and waits for in-flight requests.
+func (s *DataServer) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.ln.Close()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+// ErrRemote wraps an error reported by the remote fetch handler.
+var ErrRemote = errors.New("medici: remote fetch error")
+
+// Fetch sends a request to a data server URL and returns its reply —
+// MW_Client_Recv's pull counterpart. timeout bounds the whole exchange
+// (0 = 30 s).
+func Fetch(tr Transport, url string, request []byte, timeout time.Duration) ([]byte, error) {
+	if tr == nil {
+		tr = TCPTransport{}
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ep, err := ParseEndpoint(url)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := tr.Dial(ep.Addr())
+	if err != nil {
+		return nil, fmt.Errorf("medici: fetch dial %s: %w", ep.Addr(), err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	var frame LengthPrefixProtocol
+	if err := frame.WriteMessage(conn, request); err != nil {
+		return nil, fmt.Errorf("medici: fetch send: %w", err)
+	}
+	reply, err := frame.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("medici: fetch receive: %w", err)
+	}
+	if len(reply) == 0 {
+		return nil, fmt.Errorf("medici: fetch: empty reply frame")
+	}
+	if reply[0] != 0 {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, string(reply[1:]))
+	}
+	return reply[1:], nil
+}

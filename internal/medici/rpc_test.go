@@ -1,0 +1,117 @@
+package medici
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFetchRoundTrip(t *testing.T) {
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func(req []byte) ([]byte, error) {
+		return append([]byte("data-for:"), req...), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reply, err := Fetch(nil, srv.URL(), []byte("bus-voltages"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "data-for:bus-voltages" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestFetchEmptyReplyBody(t *testing.T) {
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func([]byte) ([]byte, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reply, err := Fetch(nil, srv.URL(), []byte("x"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != 0 {
+		t.Fatalf("reply = %q, want empty", reply)
+	}
+}
+
+func TestFetchRemoteError(t *testing.T) {
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func(req []byte) ([]byte, error) {
+		return nil, fmt.Errorf("no measurements for %q", req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err = Fetch(nil, srv.URL(), []byte("nothing"), time.Second)
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+}
+
+func TestFetchConcurrent(t *testing.T) {
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func(req []byte) ([]byte, error) {
+		return bytes.ToUpper(req), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := []byte(fmt.Sprintf("req-%d", i))
+			reply, err := Fetch(nil, srv.URL(), req, 2*time.Second)
+			if err != nil {
+				t.Errorf("fetch %d: %v", i, err)
+				return
+			}
+			if string(reply) != fmt.Sprintf("REQ-%d", i) {
+				t.Errorf("fetch %d: got %q", i, reply)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFetchDeadServer(t *testing.T) {
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func([]byte) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := srv.URL()
+	srv.Close()
+	if _, err := Fetch(nil, url, []byte("x"), 300*time.Millisecond); err == nil {
+		t.Fatal("fetch from closed server succeeded")
+	}
+}
+
+func TestDataServerValidation(t *testing.T) {
+	if _, err := NewDataServer(nil, "127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestDataServerDoubleClose(t *testing.T) {
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func([]byte) ([]byte, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}

@@ -1,0 +1,179 @@
+// Package partition provides the weighted-graph model and the multilevel
+// k-way partitioner that the paper delegates to METIS, plus the DSE cost
+// model (Expressions (1)–(5)) used to derive vertex and edge weights from
+// power-grid measurements.
+//
+// The partitioner follows the classic multilevel scheme: heavy-edge-matching
+// coarsening, greedy graph-growing initial partitioning, and boundary
+// Kernighan–Lin refinement during uncoarsening. An adaptive Repartition
+// entry point refines an existing assignment after weight updates, which is
+// how the paper remaps subsystems between DSE Step 1 and Step 2.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one endpoint of a weighted undirected edge.
+type Edge struct {
+	To int
+	W  float64
+}
+
+// Graph is an undirected vertex- and edge-weighted graph.
+type Graph struct {
+	vw  []float64
+	adj [][]Edge
+}
+
+// NewGraph returns a graph with n vertices of weight 1 and no edges.
+func NewGraph(n int) *Graph {
+	vw := make([]float64, n)
+	for i := range vw {
+		vw[i] = 1
+	}
+	return &Graph{vw: vw, adj: make([][]Edge, n)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.vw) }
+
+// SetVertexWeight assigns the weight of vertex v.
+func (g *Graph) SetVertexWeight(v int, w float64) {
+	if w < 0 {
+		panic(fmt.Sprintf("partition: negative vertex weight %g", w))
+	}
+	g.vw[v] = w
+}
+
+// VertexWeight returns the weight of vertex v.
+func (g *Graph) VertexWeight(v int) float64 { return g.vw[v] }
+
+// AddEdge adds (or accumulates onto) the undirected edge u—v with weight w.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		panic("partition: self loop")
+	}
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		panic(fmt.Sprintf("partition: edge (%d,%d) out of range %d", u, v, g.N()))
+	}
+	if !g.bump(u, v, w) {
+		g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	}
+	if !g.bump(v, u, w) {
+		g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+	}
+}
+
+func (g *Graph) bump(u, v int, w float64) bool {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			g.adj[u][i].W += w
+			return true
+		}
+	}
+	return false
+}
+
+// SetEdgeWeight overwrites the weight of an existing edge u—v; it is an
+// error if the edge does not exist.
+func (g *Graph) SetEdgeWeight(u, v int, w float64) error {
+	found := 0
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			g.adj[u][i].W = w
+			found++
+		}
+	}
+	for i := range g.adj[v] {
+		if g.adj[v][i].To == u {
+			g.adj[v][i].W = w
+			found++
+		}
+	}
+	if found != 2 {
+		return fmt.Errorf("partition: edge (%d,%d) not present", u, v)
+	}
+	return nil
+}
+
+// Neighbors returns the adjacency list of v (shared storage; do not mutate).
+func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
+
+// Edges returns every undirected edge once as (u, v, w) with u < v, sorted.
+func (g *Graph) Edges() [][3]float64 {
+	var out [][3]float64
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < e.To {
+				out = append(out, [3]float64{float64(u), float64(e.To), e.W})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() float64 {
+	s := 0.0
+	for _, w := range g.vw {
+		s += w
+	}
+	return s
+}
+
+// EdgeCut returns the total weight of edges crossing between parts.
+func (g *Graph) EdgeCut(parts []int) float64 {
+	cut := 0.0
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < e.To && parts[u] != parts[e.To] {
+				cut += e.W
+			}
+		}
+	}
+	return cut
+}
+
+// PartWeights returns the summed vertex weight per part (length k).
+func (g *Graph) PartWeights(parts []int, k int) []float64 {
+	w := make([]float64, k)
+	for v, p := range parts {
+		w[p] += g.vw[v]
+	}
+	return w
+}
+
+// Imbalance returns the load-imbalance ratio max(part)/avg(part), the
+// quantity METIS reports (1.0 = perfectly balanced; the paper cites the
+// METIS-suggested threshold 1.05).
+func (g *Graph) Imbalance(parts []int, k int) float64 {
+	w := g.PartWeights(parts, k)
+	total, maxW := 0.0, 0.0
+	for _, x := range w {
+		total += x
+		if x > maxW {
+			maxW = x
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return maxW / (total / float64(k))
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{vw: append([]float64(nil), g.vw...), adj: make([][]Edge, len(g.adj))}
+	for i := range g.adj {
+		c.adj[i] = append([]Edge(nil), g.adj[i]...)
+	}
+	return c
+}

@@ -1,0 +1,360 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Options tunes the multilevel k-way partitioner.
+type Options struct {
+	// ImbalanceTol is the acceptable load-imbalance ratio (METIS default
+	// 1.05). Refinement moves that would push a part beyond
+	// ImbalanceTol·(total/k) are rejected unless they fix a worse
+	// imbalance. Zero selects 1.05.
+	ImbalanceTol float64
+	// Seed drives the (deterministic) randomized matching order.
+	Seed int64
+	// RefinePasses caps the boundary refinement sweeps per level.
+	// Zero selects 8.
+	RefinePasses int
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices. Zero selects max(30, 8·k).
+	CoarsenTo int
+}
+
+// Result is a computed partition.
+type Result struct {
+	Parts     []int   // part id per vertex, 0..k-1
+	EdgeCut   float64 // total weight of cut edges
+	Imbalance float64 // max part weight / average part weight
+}
+
+// KWay partitions g into k parts using the multilevel scheme.
+func KWay(g *Graph, k int, opts Options) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("partition: k = %d must be positive", k)
+	}
+	if g.N() == 0 {
+		return &Result{Parts: []int{}, Imbalance: 1}, nil
+	}
+	if k > g.N() {
+		return nil, fmt.Errorf("partition: k = %d exceeds vertex count %d", k, g.N())
+	}
+	setDefaults(&opts, k)
+	parts := multilevel(g, k, opts)
+	refine(g, parts, k, opts)
+	return &Result{
+		Parts:     parts,
+		EdgeCut:   g.EdgeCut(parts),
+		Imbalance: g.Imbalance(parts, k),
+	}, nil
+}
+
+// Repartition refines an existing assignment after vertex/edge weights have
+// changed (the paper's adaptive remapping between DSE Step 1 and Step 2).
+// It starts from prev — minimizing migration — and runs boundary refinement
+// only; if prev is badly unbalanced it falls back to a fresh KWay call.
+func Repartition(g *Graph, k int, prev []int, opts Options) (*Result, error) {
+	if len(prev) != g.N() {
+		return nil, fmt.Errorf("partition: prev length %d != vertices %d", len(prev), g.N())
+	}
+	for v, p := range prev {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("partition: prev[%d] = %d outside 0..%d", v, p, k-1)
+		}
+	}
+	setDefaults(&opts, k)
+	parts := append([]int(nil), prev...)
+	refine(g, parts, k, opts)
+	// If refinement could not reach an acceptable balance, start over.
+	if g.Imbalance(parts, k) > 2*opts.ImbalanceTol {
+		return KWay(g, k, opts)
+	}
+	return &Result{
+		Parts:     parts,
+		EdgeCut:   g.EdgeCut(parts),
+		Imbalance: g.Imbalance(parts, k),
+	}, nil
+}
+
+func setDefaults(o *Options, k int) {
+	if o.ImbalanceTol <= 1 {
+		o.ImbalanceTol = 1.05
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 30
+		if 8*k > o.CoarsenTo {
+			o.CoarsenTo = 8 * k
+		}
+	}
+}
+
+// level captures one coarsening step: the coarse graph plus the mapping
+// from fine vertices to coarse vertices.
+type level struct {
+	coarse *Graph
+	map2c  []int
+}
+
+func multilevel(g *Graph, k int, opts Options) []int {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// Coarsening phase.
+	var levels []level
+	cur := g
+	for cur.N() > opts.CoarsenTo {
+		lv, shrunk := coarsen(cur, rng)
+		if !shrunk {
+			break // matching found nothing to merge
+		}
+		levels = append(levels, lv)
+		cur = lv.coarse
+	}
+	// Initial partition of the coarsest graph.
+	parts := growParts(cur, k, rng)
+	refine(cur, parts, k, opts)
+	// Uncoarsening with refinement at every level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make([]int, len(lv.map2c))
+		for v, c := range lv.map2c {
+			fine[v] = parts[c]
+		}
+		parts = fine
+		var fineGraph *Graph
+		if i == 0 {
+			fineGraph = g
+		} else {
+			fineGraph = levels[i-1].coarse
+		}
+		refine(fineGraph, parts, k, opts)
+	}
+	return parts
+}
+
+// coarsen performs one heavy-edge-matching pass and contracts matched pairs.
+func coarsen(g *Graph, rng *rand.Rand) (level, bool) {
+	n := g.N()
+	order := rng.Perm(n)
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	merged := 0
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := -1, -1.0
+		for _, e := range g.Neighbors(v) {
+			if match[e.To] < 0 && e.W > bestW {
+				best, bestW = e.To, e.W
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+			merged++
+		} else {
+			match[v] = v
+		}
+	}
+	if merged == 0 {
+		return level{}, false
+	}
+	map2c := make([]int, n)
+	for i := range map2c {
+		map2c[i] = -1
+	}
+	nc := 0
+	for v := 0; v < n; v++ {
+		if map2c[v] >= 0 {
+			continue
+		}
+		map2c[v] = nc
+		if m := match[v]; m != v && map2c[m] < 0 {
+			map2c[m] = nc
+		}
+		nc++
+	}
+	coarse := NewGraph(nc)
+	for i := range coarse.vw {
+		coarse.vw[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		coarse.vw[map2c[v]] += g.vw[v]
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(u) {
+			if u < e.To {
+				cu, cv := map2c[u], map2c[e.To]
+				if cu != cv {
+					coarse.AddEdge(cu, cv, e.W)
+				}
+			}
+		}
+	}
+	return level{coarse: coarse, map2c: map2c}, true
+}
+
+// growParts builds an initial k-way partition by greedy graph growing:
+// grow each region from a random unassigned seed, absorbing the frontier
+// vertex with the strongest connection to the region, until the region
+// reaches its weight budget.
+func growParts(g *Graph, k int, rng *rand.Rand) []int {
+	n := g.N()
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	budget := g.TotalVertexWeight() / float64(k)
+	assigned := 0
+	for p := 0; p < k; p++ {
+		if assigned == n {
+			break
+		}
+		// Seed: random unassigned vertex.
+		seed := -1
+		for _, v := range rng.Perm(n) {
+			if parts[v] < 0 {
+				seed = v
+				break
+			}
+		}
+		parts[seed] = p
+		assigned++
+		weight := g.vw[seed]
+		// Grow until budget (the last part absorbs everything left over
+		// via the cleanup loop below).
+		for weight < budget && assigned < n {
+			best, bestGain := -1, -1.0
+			for v := 0; v < n; v++ {
+				if parts[v] >= 0 {
+					continue
+				}
+				gain := 0.0
+				touches := false
+				for _, e := range g.Neighbors(v) {
+					if parts[e.To] == p {
+						gain += e.W
+						touches = true
+					}
+				}
+				if touches && gain > bestGain {
+					best, bestGain = v, gain
+				}
+			}
+			if best < 0 {
+				break // region frontier exhausted (disconnected remainder)
+			}
+			parts[best] = p
+			weight += g.vw[best]
+			assigned++
+		}
+	}
+	// Any leftovers go to their most-connected part (or the lightest part).
+	for v := 0; v < n; v++ {
+		if parts[v] >= 0 {
+			continue
+		}
+		gains := make([]float64, k)
+		bestP, bestG := -1, 0.0
+		for _, e := range g.Neighbors(v) {
+			if parts[e.To] >= 0 {
+				gains[parts[e.To]] += e.W
+				if gains[parts[e.To]] > bestG {
+					bestP, bestG = parts[e.To], gains[parts[e.To]]
+				}
+			}
+		}
+		if bestP < 0 {
+			// No assigned neighbor: put it on the lightest part.
+			w := make([]float64, k)
+			for u, p := range parts {
+				if p >= 0 {
+					w[p] += g.vw[u]
+				}
+			}
+			bestP = 0
+			for p := 1; p < k; p++ {
+				if w[p] < w[bestP] {
+					bestP = p
+				}
+			}
+		}
+		parts[v] = bestP
+	}
+	return parts
+}
+
+// refine runs greedy boundary Kernighan–Lin-style passes: move boundary
+// vertices to the neighboring part with the best cut gain, subject to the
+// balance constraint, until a pass makes no move.
+func refine(g *Graph, parts []int, k int, opts Options) {
+	n := g.N()
+	budget := g.TotalVertexWeight() / float64(k)
+	maxLoad := budget * opts.ImbalanceTol
+	pw := g.PartWeights(parts, k)
+
+	conn := make([]float64, k)
+	touched := make([]int, 0, k)
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := 0
+		for v := 0; v < n; v++ {
+			from := parts[v]
+			// Connection weight to each part (deterministic iteration).
+			touched = touched[:0]
+			for _, e := range g.Neighbors(v) {
+				p := parts[e.To]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += e.W
+			}
+			bestP, bestGain := from, 0.0
+			for p := 0; p < k; p++ {
+				w := conn[p]
+				if p == from || w == 0 {
+					continue
+				}
+				gain := w - conn[from]
+				newLoad := pw[p] + g.vw[v]
+				srcRelief := pw[from] > maxLoad && newLoad <= pw[from]
+				switch {
+				case gain > bestGain && newLoad <= maxLoad:
+					bestP, bestGain = p, gain
+				case gain >= bestGain && srcRelief:
+					// Balance-restoring move: accept zero-gain moves that
+					// unload an overweight part.
+					bestP, bestGain = p, gain
+				}
+			}
+			// Also consider pure balance moves when v's part is overloaded.
+			if bestP == from && pw[from] > maxLoad {
+				lightest := from
+				for p := 0; p < k; p++ {
+					if pw[p] < pw[lightest] {
+						lightest = p
+					}
+				}
+				if lightest != from && conn[lightest] >= 0 && pw[lightest]+g.vw[v] < pw[from] {
+					bestP = lightest
+				}
+			}
+			if bestP != from {
+				parts[v] = bestP
+				pw[from] -= g.vw[v]
+				pw[bestP] += g.vw[v]
+				moved++
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

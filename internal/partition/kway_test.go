@@ -1,0 +1,350 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// paperGraph builds the 9-vertex IEEE-118 decomposition graph of Figure 3 /
+// Table I with the paper's initial weights.
+func paperGraph() *Graph {
+	g := NewGraph(9)
+	weights := []float64{14, 13, 13, 13, 13, 12, 14, 13, 13}
+	for i, w := range weights {
+		g.SetVertexWeight(i, w)
+	}
+	edges := [][2]int{
+		{1, 2}, {1, 4}, {1, 5}, {2, 3}, {2, 6}, {3, 6},
+		{4, 5}, {4, 7}, {5, 6}, {5, 7}, {5, 8}, {7, 9},
+	}
+	for _, e := range edges {
+		u, v := e[0]-1, e[1]-1
+		g.AddEdge(u, v, weights[u]+weights[v])
+	}
+	return g
+}
+
+func TestPaperGraphWeights(t *testing.T) {
+	g := paperGraph()
+	if g.N() != 9 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.TotalVertexWeight() != 118 {
+		t.Fatalf("total vertex weight %v, want 118 (bus count)", g.TotalVertexWeight())
+	}
+	// Table I: edge (1,2) weight 27, (2,6) weight 25, (5,8) weight 26.
+	cases := map[[2]int]float64{{0, 1}: 27, {1, 5}: 25, {4, 7}: 26}
+	for e, want := range cases {
+		found := false
+		for _, ed := range g.Neighbors(e[0]) {
+			if ed.To == e[1] {
+				found = true
+				if ed.W != want {
+					t.Errorf("edge %v weight %v, want %v", e, ed.W, want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("edge %v missing", e)
+		}
+	}
+}
+
+func TestKWayPaperGraphInto3(t *testing.T) {
+	g := paperGraph()
+	res, err := KWay(g, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 9 {
+		t.Fatalf("parts length %d", len(res.Parts))
+	}
+	// All three parts used.
+	seen := map[int]bool{}
+	for _, p := range res.Parts {
+		if p < 0 || p > 2 {
+			t.Fatalf("part id %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("only %d parts used", len(seen))
+	}
+	// The paper achieves imbalance 1.035 on this graph (3 subsystems per
+	// cluster); any partitioner should land at or below ~1.08.
+	if res.Imbalance > 1.09 {
+		t.Errorf("imbalance %.3f, want ≤ 1.09 (paper: 1.035)", res.Imbalance)
+	}
+}
+
+func TestKWayK1AndKN(t *testing.T) {
+	g := paperGraph()
+	res, err := KWay(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EdgeCut != 0 {
+		t.Fatalf("k=1 edge cut %v", res.EdgeCut)
+	}
+	res, err = KWay(g, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range res.Parts {
+		seen[p] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("k=n should give singleton parts, got %d distinct", len(seen))
+	}
+}
+
+func TestKWayErrors(t *testing.T) {
+	g := paperGraph()
+	if _, err := KWay(g, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KWay(g, 10, Options{}); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKWayDeterministic(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(5)), 200, 600)
+	a, err := KWay(g, 4, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KWay(g, 4, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	g := NewGraph(n)
+	// Spanning chain to guarantee connectivity.
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v, 1+rng.Float64())
+	}
+	for e := 0; e < m; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+rng.Float64()*9)
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.SetVertexWeight(v, 1+rng.Float64()*4)
+	}
+	return g
+}
+
+func TestKWayLargeRandomGraphBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, k := range []int{2, 3, 8} {
+		g := randomGraph(rng, 500, 2000)
+		res, err := KWay(g, k, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Imbalance > 1.35 {
+			t.Errorf("k=%d imbalance %.3f too high", k, res.Imbalance)
+		}
+		if res.EdgeCut <= 0 {
+			t.Errorf("k=%d zero edge cut on random graph is implausible", k)
+		}
+	}
+}
+
+func TestKWayBeatsRandomAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomGraph(rng, 300, 1500)
+	res, err := KWay(g, 4, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	randParts := make([]int, g.N())
+	for i := range randParts {
+		randParts[i] = rng.Intn(4)
+	}
+	if res.EdgeCut >= g.EdgeCut(randParts) {
+		t.Errorf("multilevel cut %.1f not better than random %.1f",
+			res.EdgeCut, g.EdgeCut(randParts))
+	}
+}
+
+func TestRepartitionKeepsAssignmentWhenBalanced(t *testing.T) {
+	g := paperGraph()
+	base, err := KWay(g, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Repartition(g, 3, base.Parts, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := 0
+	for i := range base.Parts {
+		if base.Parts[i] != rep.Parts[i] {
+			moves++
+		}
+	}
+	if moves > 2 {
+		t.Errorf("repartition with unchanged weights moved %d of 9 vertices", moves)
+	}
+}
+
+func TestRepartitionAdaptsToWeightChange(t *testing.T) {
+	g := paperGraph()
+	base, err := KWay(g, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blow up one vertex's weight: the previous assignment becomes strongly
+	// unbalanced and repartitioning must reduce the imbalance.
+	heavy := g.Clone()
+	heavy.SetVertexWeight(0, 120)
+	before := heavy.Imbalance(base.Parts, 3)
+	rep, err := Repartition(heavy, 3, base.Parts, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Imbalance >= before {
+		t.Errorf("repartition did not improve imbalance: %.3f -> %.3f", before, rep.Imbalance)
+	}
+}
+
+func TestRepartitionValidation(t *testing.T) {
+	g := paperGraph()
+	if _, err := Repartition(g, 3, []int{0, 1}, Options{}); err == nil {
+		t.Error("short prev accepted")
+	}
+	bad := make([]int, 9)
+	bad[0] = 7
+	if _, err := Repartition(g, 3, bad, Options{}); err == nil {
+		t.Error("out-of-range part accepted")
+	}
+}
+
+// Property: every KWay result is a valid partition — parts in range, and
+// edge cut consistent with a direct recount.
+func TestKWayQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		g := randomGraph(rng, n, 3*n)
+		k := 2 + rng.Intn(5)
+		if k > n {
+			k = n
+		}
+		res, err := KWay(g, k, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, p := range res.Parts {
+			if p < 0 || p >= k {
+				return false
+			}
+		}
+		return res.EdgeCut == g.EdgeCut(res.Parts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 1, 3) // accumulates to 5
+	g.AddEdge(1, 2, 1)
+	if len(g.Edges()) != 2 {
+		t.Fatalf("edges = %v", g.Edges())
+	}
+	if g.Neighbors(0)[0].W != 5 {
+		t.Fatalf("edge weight %v, want 5 (accumulated)", g.Neighbors(0)[0].W)
+	}
+	if err := g.SetEdgeWeight(0, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if g.Neighbors(1)[0].W != 9 {
+		t.Fatal("SetEdgeWeight not symmetric")
+	}
+	if err := g.SetEdgeWeight(0, 2, 1); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+	cut := g.EdgeCut([]int{0, 1, 1})
+	if cut != 9 {
+		t.Fatalf("cut = %v, want 9", cut)
+	}
+	if im := g.Imbalance([]int{0, 1, 1}, 2); im != 2.0/1.5 {
+		t.Fatalf("imbalance = %v", im)
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(0, 0, 1) },
+		func() { g.AddEdge(0, 5, 1) },
+		func() { g.SetVertexWeight(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCostModelExpressions(t *testing.T) {
+	c := PaperCostModel()
+	// Paper: for a 14-bus subsystem g1=3.7579, g2=5.2464. At nominal noise
+	// (x=1) Ni ≈ 9.0.
+	if ni := c.Iterations(1); ni < 8.9 || ni > 9.1 {
+		t.Errorf("Ni(1) = %v, want ≈9.0", ni)
+	}
+	if ni := c.Iterations(-10); ni != 1 {
+		t.Errorf("Ni clamps at 1, got %v", ni)
+	}
+	if wv := c.VertexWeight(14, 1); wv < 14*8.9 || wv > 14*9.1 {
+		t.Errorf("Wv = %v", wv)
+	}
+	if EdgeWeight(14, 13) != 27 {
+		t.Error("EdgeWeight")
+	}
+}
+
+func TestNoiseFromTimeFrame(t *testing.T) {
+	if x := NoiseFromTimeFrame(0); x != 0 {
+		t.Errorf("f(0) = %v", x)
+	}
+	if x := NoiseFromTimeFrame(4 * time.Second); x != 1 {
+		t.Errorf("f(4s) = %v, want 1 (nominal SCADA cycle)", x)
+	}
+	if x := NoiseFromTimeFrame(16 * time.Second); x != 2 {
+		t.Errorf("f(16s) = %v, want 2", x)
+	}
+	if x := NoiseFromTimeFrame(time.Hour); x != 4 {
+		t.Errorf("f(1h) = %v, want saturation at 4", x)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for s := 1; s < 200; s += 7 {
+		x := NoiseFromTimeFrame(time.Duration(s) * time.Second)
+		if x < prev {
+			t.Fatalf("f not monotone at %ds", s)
+		}
+		prev = x
+	}
+}

@@ -1,0 +1,51 @@
+package powerflow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestFastDecoupledMatchesNewton(t *testing.T) {
+	for _, mk := range []func() *grid.Network{grid.Case14, grid.Case30, grid.Case118} {
+		n := mk()
+		nr, err := Solve(n, Options{FlatStart: true})
+		if err != nil {
+			t.Fatalf("%s newton: %v", n.Name, err)
+		}
+		fd, err := SolveFastDecoupled(n, Options{FlatStart: true, MaxIter: 150})
+		if err != nil {
+			t.Fatalf("%s fast-decoupled: %v", n.Name, err)
+		}
+		for i := range nr.State.Vm {
+			if d := math.Abs(nr.State.Vm[i] - fd.State.Vm[i]); d > 1e-6 {
+				t.Fatalf("%s bus %d Vm differs by %g", n.Name, i, d)
+			}
+			if d := math.Abs(nr.State.Va[i] - fd.State.Va[i]); d > 1e-6 {
+				t.Fatalf("%s bus %d Va differs by %g", n.Name, i, d)
+			}
+		}
+		if fd.Iterations <= nr.Iterations {
+			t.Logf("%s: FD took %d iterations vs NR %d (unusually fast)", n.Name, fd.Iterations, nr.Iterations)
+		}
+	}
+}
+
+func TestFastDecoupledDisconnected(t *testing.T) {
+	buses := []grid.Bus{{ID: 1, Type: grid.Slack, Vm: 1}, {ID: 2, Type: grid.PQ, Vm: 1}}
+	n, err := grid.New("disc", 100, buses, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveFastDecoupled(n, Options{}); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestFastDecoupledIterationCap(t *testing.T) {
+	n := grid.Case118()
+	if _, err := SolveFastDecoupled(n, Options{FlatStart: true, MaxIter: 2}); err == nil {
+		t.Fatal("2 iterations should not converge from flat start")
+	}
+}

@@ -1,0 +1,320 @@
+// Package powerflow solves the AC power-flow problem with the full
+// Newton–Raphson method in polar coordinates. Its solutions are the
+// ground-truth operating states from which the measurement simulators draw
+// SCADA and PMU data.
+package powerflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/sparse"
+)
+
+// JacobianSolver selects how the Newton correction system is solved.
+type JacobianSolver int
+
+// Jacobian solver choices. Auto uses dense LU up to 600 buses and the
+// sparse ILU(0)-preconditioned BiCGSTAB beyond (WECC-scale systems).
+const (
+	JacobianAuto JacobianSolver = iota
+	JacobianDense
+	JacobianSparse
+)
+
+// Options controls the Newton–Raphson iteration.
+type Options struct {
+	// Tol is the convergence tolerance on the power mismatch ‖ΔP,ΔQ‖∞ in
+	// per-unit. Zero selects 1e-8.
+	Tol float64
+	// MaxIter caps the Newton iterations. Zero selects 30.
+	MaxIter int
+	// FlatStart initializes all angles to 0 and PQ magnitudes to 1 pu
+	// instead of the values stored on the buses.
+	FlatStart bool
+	// Solver picks the linear solver for the Newton step.
+	Solver JacobianSolver
+	// Workers parallelizes the sparse solver's mat-vec (0 = GOMAXPROCS).
+	Workers int
+}
+
+// autoSparseThreshold is the bus count above which JacobianAuto switches
+// from dense LU to the sparse iterative solver.
+const autoSparseThreshold = 600
+
+// State is a solved (or candidate) operating point: voltage magnitude and
+// angle per internal bus index.
+type State struct {
+	Vm []float64 // per-unit
+	Va []float64 // radians
+}
+
+// Clone returns a deep copy of the state.
+func (s State) Clone() State {
+	return State{Vm: append([]float64(nil), s.Vm...), Va: append([]float64(nil), s.Va...)}
+}
+
+// Result reports a power-flow solution.
+type Result struct {
+	State      State
+	Iterations int
+	Mismatch   float64 // final ‖ΔP,ΔQ‖∞, pu
+	SlackP     float64 // slack active injection picked up, pu
+	SlackQ     float64 // slack reactive injection, pu
+}
+
+// ErrDiverged reports that Newton–Raphson failed to converge.
+var ErrDiverged = errors.New("powerflow: Newton-Raphson did not converge")
+
+// Solve runs a full Newton–Raphson power flow on the network.
+func Solve(n *grid.Network, opts Options) (*Result, error) {
+	if !n.Connected() {
+		return nil, fmt.Errorf("powerflow: network %q is not connected", n.Name)
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+
+	nb := n.N()
+	y := grid.BuildYBus(n)
+	pSched, qSched := n.NetInjections()
+
+	vm := make([]float64, nb)
+	va := make([]float64, nb)
+	for i, b := range n.Buses {
+		if opts.FlatStart && b.Type == grid.PQ {
+			vm[i] = 1
+		} else if b.Vm > 0 {
+			vm[i] = b.Vm
+		} else {
+			vm[i] = 1
+		}
+		if opts.FlatStart {
+			va[i] = 0
+		} else {
+			va[i] = b.Va
+		}
+	}
+
+	// Unknown orderings: angles at all non-slack buses, magnitudes at PQ buses.
+	var pvpq, pq []int
+	for i, b := range n.Buses {
+		switch b.Type {
+		case grid.Slack:
+		case grid.PV:
+			pvpq = append(pvpq, i)
+		case grid.PQ:
+			pvpq = append(pvpq, i)
+			pq = append(pq, i)
+		default:
+			return nil, fmt.Errorf("powerflow: bus %d has invalid type %v", b.ID, b.Type)
+		}
+	}
+	na := len(pvpq)
+	nq := len(pq)
+	posA := make(map[int]int, na) // bus index -> angle unknown position
+	for k, i := range pvpq {
+		posA[i] = k
+	}
+	posV := make(map[int]int, nq) // bus index -> magnitude unknown position
+	for k, i := range pq {
+		posV[i] = k
+	}
+
+	pCalc := make([]float64, nb)
+	qCalc := make([]float64, nb)
+	mismatch := func() ([]float64, float64) {
+		calcInjections(y, vm, va, pCalc, qCalc)
+		f := make([]float64, na+nq)
+		worst := 0.0
+		for k, i := range pvpq {
+			f[k] = pSched[i] - pCalc[i]
+			if a := math.Abs(f[k]); a > worst {
+				worst = a
+			}
+		}
+		for k, i := range pq {
+			f[na+k] = qSched[i] - qCalc[i]
+			if a := math.Abs(f[na+k]); a > worst {
+				worst = a
+			}
+		}
+		return f, worst
+	}
+
+	res := &Result{}
+	for iter := 0; iter <= maxIter; iter++ {
+		f, worst := mismatch()
+		res.Iterations = iter
+		res.Mismatch = worst
+		if worst <= tol {
+			res.State = State{Vm: vm, Va: va}
+			slack := n.SlackIndex()
+			res.SlackP = pCalc[slack]
+			res.SlackQ = qCalc[slack]
+			return res, nil
+		}
+		if iter == maxIter {
+			break
+		}
+
+		dx, err := solveNewtonStep(n.N(), opts, y, vm, va, pCalc, qCalc, pvpq, pq, posA, posV, f)
+		if err != nil {
+			return nil, fmt.Errorf("powerflow: Jacobian solve at iteration %d: %w", iter, err)
+		}
+		for k, i := range pvpq {
+			va[i] += dx[k]
+		}
+		for k, i := range pq {
+			vm[i] += dx[na+k]
+			if vm[i] < 0.1 {
+				vm[i] = 0.1 // guard against wild Newton steps through zero
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations (mismatch %.3e)", ErrDiverged, maxIter, res.Mismatch)
+}
+
+// calcInjections evaluates the complex power injections
+//
+//	Pi = Vi Σj Vj (Gij cosθij + Bij sinθij)
+//	Qi = Vi Σj Vj (Gij sinθij − Bij cosθij)
+//
+// for every bus into p and q.
+func calcInjections(y *grid.YBus, vm, va, p, q []float64) {
+	for i := 0; i < y.N; i++ {
+		var pi, qi float64
+		y.Row(i, func(j int, g, b float64) {
+			th := va[i] - va[j]
+			c, s := math.Cos(th), math.Sin(th)
+			pi += vm[j] * (g*c + b*s)
+			qi += vm[j] * (g*s - b*c)
+		})
+		p[i] = vm[i] * pi
+		q[i] = vm[i] * qi
+	}
+}
+
+// solveNewtonStep assembles and solves J·dx = f, choosing dense LU or
+// sparse ILU(0)+BiCGSTAB per the options (Auto switches on system size).
+func solveNewtonStep(nb int, opts Options, y *grid.YBus, vm, va, pCalc, qCalc []float64,
+	pvpq, pq []int, posA, posV map[int]int, f []float64) ([]float64, error) {
+
+	solver := opts.Solver
+	if solver == JacobianAuto {
+		if nb > autoSparseThreshold {
+			solver = JacobianSparse
+		} else {
+			solver = JacobianDense
+		}
+	}
+	dim := len(pvpq) + len(pq)
+	switch solver {
+	case JacobianDense:
+		j := sparse.NewDense(dim, dim)
+		fillJacobian(j.AddAt, y, vm, va, pCalc, qCalc, pvpq, pq, posA, posV)
+		return sparse.SolveDense(j, f)
+	case JacobianSparse:
+		coo := sparse.NewCOO(dim, dim)
+		fillJacobian(coo.Add, y, vm, va, pCalc, qCalc, pvpq, pq, posA, posV)
+		j := coo.ToCSR()
+		ilu, err := sparse.NewILU0(j)
+		if err != nil {
+			return nil, fmt.Errorf("powerflow: ILU(0): %w", err)
+		}
+		res, err := sparse.BiCGSTAB(j, f, sparse.BiCGSTABOptions{
+			Tol: 1e-12, Precond: ilu, Workers: opts.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("powerflow: BiCGSTAB: %w", err)
+		}
+		return res.X, nil
+	default:
+		return nil, fmt.Errorf("powerflow: unknown Jacobian solver %d", solver)
+	}
+}
+
+// fillJacobian emits the entries of the Newton power-flow Jacobian
+//
+//	[ dP/dθ  dP/dV ]
+//	[ dQ/dθ  dQ/dV ]
+//
+// restricted to the unknowns (angles at pvpq buses, magnitudes at pq
+// buses) through the add callback.
+func fillJacobian(addEntry func(r, c int, v float64), y *grid.YBus, vm, va, pCalc, qCalc []float64,
+	pvpq, pq []int, posA, posV map[int]int) {
+
+	na := len(pvpq)
+	j := jacAdder{add: addEntry}
+
+	for _, i := range pvpq {
+		ri := posA[i]
+		y.Row(i, func(k int, g, b float64) {
+			th := va[i] - va[k]
+			c, s := math.Cos(th), math.Sin(th)
+			if k == i {
+				// dPi/dθi = −Qi − Bii·Vi²
+				j.AddAt(ri, ri, -qCalc[i]-b*vm[i]*vm[i])
+				if ci, ok := posV[i]; ok {
+					// dPi/dVi = Pi/Vi + Gii·Vi
+					j.AddAt(ri, na+ci, pCalc[i]/vm[i]+g*vm[i])
+				}
+				return
+			}
+			// dPi/dθk = Vi·Vk·(G·sinθ − B·cosθ)
+			if ck, ok := posA[k]; ok {
+				j.AddAt(ri, ck, vm[i]*vm[k]*(g*s-b*c))
+			}
+			// dPi/dVk = Vi·(G·cosθ + B·sinθ)
+			if ck, ok := posV[k]; ok {
+				j.AddAt(ri, na+ck, vm[i]*(g*c+b*s))
+			}
+		})
+	}
+	for _, i := range pq {
+		ri := na + posV[i]
+		y.Row(i, func(k int, g, b float64) {
+			th := va[i] - va[k]
+			c, s := math.Cos(th), math.Sin(th)
+			if k == i {
+				// dQi/dθi = Pi − Gii·Vi²
+				j.AddAt(ri, posA[i], pCalc[i]-g*vm[i]*vm[i])
+				// dQi/dVi = Qi/Vi − Bii·Vi
+				j.AddAt(ri, na+posV[i], qCalc[i]/vm[i]-b*vm[i])
+				return
+			}
+			// dQi/dθk = −Vi·Vk·(G·cosθ + B·sinθ)
+			if ck, ok := posA[k]; ok {
+				j.AddAt(ri, ck, -vm[i]*vm[k]*(g*c+b*s))
+			}
+			// dQi/dVk = Vi·(G·sinθ − B·cosθ)
+			if ck, ok := posV[k]; ok {
+				j.AddAt(ri, na+ck, vm[i]*(g*s-b*c))
+			}
+		})
+	}
+}
+
+// jacAdder adapts an add callback to the AddAt method shape used by the
+// fill loops.
+type jacAdder struct {
+	add func(r, c int, v float64)
+}
+
+func (j jacAdder) AddAt(r, c int, v float64) { j.add(r, c, v) }
+
+// Injections recomputes (P, Q) bus injections in per-unit for a given state.
+func Injections(n *grid.Network, st State) (p, q []float64) {
+	y := grid.BuildYBus(n)
+	p = make([]float64, n.N())
+	q = make([]float64, n.N())
+	calcInjections(y, st.Vm, st.Va, p, q)
+	return p, q
+}

@@ -1,0 +1,200 @@
+package powerflow
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+func TestSolveCase14MatchesPublishedSolution(t *testing.T) {
+	n := grid.Case14()
+	res, err := Solve(n, Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res.Iterations > 10 {
+		t.Errorf("took %d iterations, expected Newton to converge in <10", res.Iterations)
+	}
+	// Published IEEE 14-bus solution (MATPOWER): spot-check magnitudes and
+	// angles at a few buses.
+	checks := []struct {
+		bus     int
+		vm, deg float64
+	}{
+		{1, 1.060, 0.0},
+		{2, 1.045, -4.98},
+		{3, 1.010, -12.72},
+		{4, 1.018, -10.33},
+		{5, 1.020, -8.78},
+		{9, 1.056, -14.94},
+		{14, 1.036, -16.04},
+	}
+	for _, c := range checks {
+		i := n.MustIndex(c.bus)
+		if math.Abs(res.State.Vm[i]-c.vm) > 0.005 {
+			t.Errorf("bus %d Vm = %.4f, want %.3f", c.bus, res.State.Vm[i], c.vm)
+		}
+		if math.Abs(deg(res.State.Va[i])-c.deg) > 0.3 {
+			t.Errorf("bus %d Va = %.2f°, want %.2f°", c.bus, deg(res.State.Va[i]), c.deg)
+		}
+	}
+	// Slack picks up total load + losses − other generation ≈ 232.4 MW.
+	if p := res.SlackP * n.BaseMVA; math.Abs(p-232.4) > 2 {
+		t.Errorf("slack P = %.1f MW, want ≈232.4", p)
+	}
+}
+
+func TestSolveCase30Converges(t *testing.T) {
+	n := grid.Case30()
+	res, err := Solve(n, Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res.Mismatch > 1e-8 {
+		t.Fatalf("mismatch %g", res.Mismatch)
+	}
+	for i, vm := range res.State.Vm {
+		if vm < 0.9 || vm > 1.15 {
+			t.Errorf("bus %d Vm = %.4f outside plausible range", n.Buses[i].ID, vm)
+		}
+	}
+}
+
+func TestSolveCase118Converges(t *testing.T) {
+	n := grid.Case118()
+	res, err := Solve(n, Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res.Iterations > 15 {
+		t.Errorf("took %d iterations", res.Iterations)
+	}
+	for i, vm := range res.State.Vm {
+		if vm < 0.85 || vm > 1.15 {
+			t.Errorf("bus %d Vm = %.4f outside plausible range", n.Buses[i].ID, vm)
+		}
+	}
+	// Angles should stay within ±45° of the slack for a healthy case.
+	for i, va := range res.State.Va {
+		if math.Abs(deg(va)) > 60 {
+			t.Errorf("bus %d Va = %.1f° implausible", n.Buses[i].ID, deg(va))
+		}
+	}
+}
+
+func TestSolvedStateSatisfiesScheduledInjections(t *testing.T) {
+	n := grid.Case14()
+	res, err := Solve(n, Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	p, q := Injections(n, res.State)
+	pSched, qSched := n.NetInjections()
+	for i, b := range n.Buses {
+		switch b.Type {
+		case grid.PQ:
+			if math.Abs(p[i]-pSched[i]) > 1e-7 || math.Abs(q[i]-qSched[i]) > 1e-7 {
+				t.Errorf("PQ bus %d injection mismatch: ΔP=%g ΔQ=%g", b.ID, p[i]-pSched[i], q[i]-qSched[i])
+			}
+		case grid.PV:
+			if math.Abs(p[i]-pSched[i]) > 1e-7 {
+				t.Errorf("PV bus %d P mismatch: %g", b.ID, p[i]-pSched[i])
+			}
+		}
+	}
+}
+
+func TestSolveDisconnectedFails(t *testing.T) {
+	buses := []grid.Bus{
+		{ID: 1, Type: grid.Slack, Vm: 1}, {ID: 2, Type: grid.PQ, Vm: 1},
+	}
+	n, err := grid.New("disc", 100, buses, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(n, Options{}); err == nil {
+		t.Fatal("expected error for disconnected network")
+	}
+}
+
+func TestSolveDivergesOnInfeasibleLoad(t *testing.T) {
+	n := grid.Case14().Clone()
+	for i := range n.Buses {
+		n.Buses[i].Pd *= 50 // far beyond loadability
+	}
+	_, err := Solve(n, Options{FlatStart: true, MaxIter: 20})
+	if err == nil {
+		t.Fatal("expected divergence for 50x load")
+	}
+	if !errors.Is(err, ErrDiverged) {
+		// A singular Jacobian is also an acceptable failure mode.
+		t.Logf("failed with non-divergence error (acceptable): %v", err)
+	}
+}
+
+func TestTwoBusAnalytic(t *testing.T) {
+	// Slack 1.0∠0 feeding a PQ load through x=0.1: P flow of 1 pu gives
+	// sinθ ≈ -P·x/V1V2. Verify against the analytic solution.
+	buses := []grid.Bus{
+		{ID: 1, Type: grid.Slack, Vm: 1.0},
+		{ID: 2, Type: grid.PQ, Pd: 100, Qd: 0, Vm: 1.0},
+	}
+	branches := []grid.Branch{{From: 1, To: 2, X: 0.1, Status: true}}
+	n, err := grid.New("2bus", 100, buses, branches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(n, Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	v2, th2 := res.State.Vm[1], res.State.Va[1]
+	// Check the power balance equations directly:
+	// P2 = -(V1·V2/x)·sin(θ2) should equal -1 pu (load).
+	p2 := -(1.0 * v2 / 0.1) * math.Sin(th2-0)
+	if math.Abs(p2-(-(-1.0))) > 1e-6 && math.Abs(-p2-1.0) > 1e-6 {
+		// P2 injected = V2·V1/x·sin(θ2−θ1)… verify via Injections instead.
+		p, _ := Injections(n, res.State)
+		if math.Abs(p[1]-(-1.0)) > 1e-7 {
+			t.Fatalf("bus 2 injection = %v, want -1", p[1])
+		}
+	}
+	if th2 >= 0 {
+		t.Fatalf("load bus angle %v should lag the slack", th2)
+	}
+}
+
+func TestNonFlatStartUsesStoredState(t *testing.T) {
+	n := grid.Case14()
+	// First solve, store the state on the buses, then re-solve without flat
+	// start: should converge immediately (0 or 1 iterations).
+	res, err := Solve(n, Options{FlatStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := n.Clone()
+	for i := range warm.Buses {
+		warm.Buses[i].Vm = res.State.Vm[i]
+		warm.Buses[i].Va = res.State.Va[i]
+	}
+	res2, err := Solve(warm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations > 1 {
+		t.Errorf("warm start took %d iterations", res2.Iterations)
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	s := State{Vm: []float64{1, 2}, Va: []float64{3, 4}}
+	c := s.Clone()
+	c.Vm[0] = 9
+	if s.Vm[0] == 9 {
+		t.Fatal("Clone shares storage")
+	}
+}

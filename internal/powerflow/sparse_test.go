@@ -1,0 +1,60 @@
+package powerflow
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+)
+
+func TestSparseSolverMatchesDenseOn118(t *testing.T) {
+	n := grid.Case118()
+	d, err := Solve(n, Options{FlatStart: true, Solver: JacobianDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Solve(n, Options{FlatStart: true, Solver: JacobianSparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.State.Vm {
+		if math.Abs(d.State.Vm[i]-s.State.Vm[i]) > 1e-7 ||
+			math.Abs(d.State.Va[i]-s.State.Va[i]) > 1e-7 {
+			t.Fatalf("dense and sparse solutions differ at bus %d", i)
+		}
+	}
+}
+
+func TestSparseSolverMultiAreaSynthetic(t *testing.T) {
+	n, err := grid.SynthWECC(grid.SynthOptions{Areas: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Solve(n, Options{FlatStart: true, Solver: JacobianSparse, MaxIter: 40})
+	if err != nil {
+		t.Fatalf("sparse NR on %d buses: %v", n.N(), err)
+	}
+	t.Logf("%d buses: %d iterations, mismatch %.2e, %v", n.N(), res.Iterations, res.Mismatch, time.Since(start))
+	for i, vm := range res.State.Vm {
+		if vm < 0.8 || vm > 1.2 {
+			t.Fatalf("bus %d Vm = %v implausible", i, vm)
+		}
+	}
+}
+
+func TestAutoSolverSwitches(t *testing.T) {
+	// Auto on a small case uses dense; on a big case sparse. Both must
+	// converge — we just exercise the dispatch.
+	if _, err := Solve(grid.Case14(), Options{FlatStart: true}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := grid.SynthWECC(grid.SynthOptions{Areas: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(n, Options{FlatStart: true, MaxIter: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

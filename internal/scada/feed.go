@@ -1,0 +1,116 @@
+// Package scada simulates the field-measurement acquisition layer: SCADA
+// remote terminal units scanning every few seconds and phasor measurement
+// units streaming at 30 samples per second. Feeds run on a virtual clock,
+// so experiments are deterministic and faster than real time; a real-time
+// pacing wrapper is provided for the streaming example.
+package scada
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/partition"
+	"repro/internal/powerflow"
+)
+
+// Frame is one acquisition cycle: the measurements telemetered during a
+// time window, stamped with the window's virtual end time.
+type Frame struct {
+	Seq          int
+	Timestamp    time.Duration // virtual time since feed start
+	NoiseLevel   float64       // x = f(δt) for this frame
+	Measurements []meas.Measurement
+}
+
+// Feed produces measurement frames from a ground-truth operating state.
+type Feed struct {
+	// Cycle is the acquisition period (SCADA: 4 s, PMU: 1/30 s).
+	Cycle time.Duration
+	// Plan is the metering configuration.
+	Plan []meas.Measurement
+	// Truth is the operating state measurements are drawn from.
+	Truth powerflow.State
+	// Net is the measured network.
+	Net *grid.Network
+	// BaseSeed makes the noise stream deterministic per frame.
+	BaseSeed int64
+	// Drift optionally perturbs the truth between frames to emulate load
+	// evolution: each frame, every load bus voltage angle random-walks with
+	// this standard deviation (radians). Zero disables drift.
+	Drift float64
+
+	seq   int
+	state powerflow.State
+}
+
+// NewSCADAFeed returns a feed at the conventional 4-second SCADA cycle.
+func NewSCADAFeed(n *grid.Network, truth powerflow.State, plan []meas.Measurement, seed int64) *Feed {
+	return &Feed{Cycle: 4 * time.Second, Plan: plan, Truth: truth, Net: n, BaseSeed: seed}
+}
+
+// NewPMUFeed returns a feed at the 30-samples-per-second PMU rate.
+func NewPMUFeed(n *grid.Network, truth powerflow.State, plan []meas.Measurement, seed int64) *Feed {
+	return &Feed{Cycle: time.Second / 30, Plan: plan, Truth: truth, Net: n, BaseSeed: seed}
+}
+
+// Next produces the next frame. The frame's noise level follows the
+// Expression (1) time-frame model evaluated at the feed's cycle.
+func (f *Feed) Next() (Frame, error) {
+	if f.state.Vm == nil {
+		f.state = f.Truth.Clone()
+	}
+	if f.Drift > 0 && f.seq > 0 {
+		driftState(f.Net, &f.state, f.Drift, f.BaseSeed+int64(f.seq)*7919)
+	}
+	x := partition.NoiseFromTimeFrame(f.Cycle)
+	ms, err := meas.Simulate(f.Net, f.Plan, f.state, x, f.BaseSeed+int64(f.seq))
+	if err != nil {
+		return Frame{}, fmt.Errorf("scada: frame %d: %w", f.seq, err)
+	}
+	fr := Frame{
+		Seq:          f.seq,
+		Timestamp:    time.Duration(f.seq+1) * f.Cycle,
+		NoiseLevel:   x,
+		Measurements: ms,
+	}
+	f.seq++
+	return fr, nil
+}
+
+// driftState random-walks the bus angles slightly (deterministic per seed).
+func driftState(n *grid.Network, st *powerflow.State, sigma float64, seed int64) {
+	rng := newRNG(seed)
+	for i, b := range n.Buses {
+		if b.Type == grid.PQ {
+			st.Va[i] += sigma * rng.NormFloat64()
+			st.Vm[i] += 0.1 * sigma * rng.NormFloat64()
+		}
+	}
+}
+
+// Stream emits frames on a channel, pacing them at the feed cycle scaled by
+// speedup (e.g. 100 = 100x faster than real time; <=0 = no pacing). It
+// stops after count frames or when stop is closed, then closes the output.
+func (f *Feed) Stream(count int, speedup float64, stop <-chan struct{}) <-chan Frame {
+	out := make(chan Frame, 1)
+	go func() {
+		defer close(out)
+		for i := 0; i < count; i++ {
+			fr, err := f.Next()
+			if err != nil {
+				return
+			}
+			if speedup > 0 {
+				time.Sleep(time.Duration(float64(f.Cycle) / speedup))
+			}
+			select {
+			case out <- fr:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return out
+}

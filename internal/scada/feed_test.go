@@ -1,0 +1,159 @@
+package scada
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+)
+
+func setup(t *testing.T) (*grid.Network, powerflow.State, []meas.Measurement) {
+	t.Helper()
+	n := grid.Case14()
+	res, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, res.State, meas.FullPlan().Build(n)
+}
+
+func TestSCADAFeedFrames(t *testing.T) {
+	n, truth, plan := setup(t)
+	f := NewSCADAFeed(n, truth, plan, 42)
+	if f.Cycle != 4*time.Second {
+		t.Fatalf("cycle = %v", f.Cycle)
+	}
+	fr1, err := f.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := f.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr1.Seq != 0 || fr2.Seq != 1 {
+		t.Fatalf("seq %d, %d", fr1.Seq, fr2.Seq)
+	}
+	if fr1.Timestamp != 4*time.Second || fr2.Timestamp != 8*time.Second {
+		t.Fatalf("timestamps %v %v", fr1.Timestamp, fr2.Timestamp)
+	}
+	if len(fr1.Measurements) != len(plan) {
+		t.Fatalf("frame has %d measurements, plan %d", len(fr1.Measurements), len(plan))
+	}
+	// Nominal SCADA cycle => noise level 1.
+	if fr1.NoiseLevel != 1 {
+		t.Fatalf("noise level %v, want 1 at 4s cycle", fr1.NoiseLevel)
+	}
+	// Different frames draw different noise.
+	same := true
+	for i := range fr1.Measurements {
+		if fr1.Measurements[i].Value != fr2.Measurements[i].Value {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two frames produced identical noise")
+	}
+}
+
+func TestPMUFeedLowerNoise(t *testing.T) {
+	n, truth, plan := setup(t)
+	f := NewPMUFeed(n, truth, plan, 1)
+	fr, err := f.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1/30 s cycle: x = sqrt(cycle/4s) ≈ 0.0913 (cycle truncated to ns).
+	want := math.Sqrt(float64(f.Cycle) / float64(4*time.Second))
+	if math.Abs(fr.NoiseLevel-want) > 1e-12 {
+		t.Fatalf("PMU noise level %v, want %v", fr.NoiseLevel, want)
+	}
+}
+
+func TestFeedDeterministicAcrossRuns(t *testing.T) {
+	n, truth, plan := setup(t)
+	a := NewSCADAFeed(n, truth, plan, 9)
+	b := NewSCADAFeed(n, truth, plan, 9)
+	for k := 0; k < 3; k++ {
+		fa, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fa.Measurements {
+			if fa.Measurements[i].Value != fb.Measurements[i].Value {
+				t.Fatalf("frame %d not deterministic", k)
+			}
+		}
+	}
+}
+
+func TestFeedDriftMovesTruth(t *testing.T) {
+	n, truth, plan := setup(t)
+	f := NewSCADAFeed(n, truth, plan, 3)
+	f.Drift = 0.01
+	if _, err := f.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Next(); err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i, b := range n.Buses {
+		if b.Type == grid.PQ && f.state.Va[i] != truth.Va[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("drift did not move the underlying state")
+	}
+	// Original truth untouched.
+	res, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Va {
+		if truth.Va[i] != res.State.Va[i] {
+			t.Fatal("feed mutated caller's truth state")
+		}
+	}
+}
+
+func TestStreamDeliversAndStops(t *testing.T) {
+	n, truth, plan := setup(t)
+	f := NewSCADAFeed(n, truth, plan, 5)
+	stop := make(chan struct{})
+	ch := f.Stream(3, 0, stop)
+	count := 0
+	for range ch {
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("streamed %d frames, want 3", count)
+	}
+
+	f2 := NewSCADAFeed(n, truth, plan, 5)
+	stop2 := make(chan struct{})
+	ch2 := f2.Stream(1000, 0, stop2)
+	<-ch2
+	close(stop2)
+	// Channel must terminate shortly after stop.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch2:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream did not stop")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package scada
+
+import (
+	"fmt"
+
+	"repro/internal/meas"
+)
+
+// Merger aligns a slow feed (SCADA, seconds) with a fast feed (PMU, 30 Hz)
+// into combined snapshots at the slow cadence: each merged frame carries
+// the SCADA scan plus the freshest PMU samples up to the scan time. Where
+// both feeds meter the same quantity, the PMU sample wins (tighter sigma,
+// newer timestamp) — the standard hybrid-estimation arrangement for grids
+// with partial synchrophasor coverage.
+type Merger struct {
+	Slow, Fast *Feed
+
+	pending *Frame // next fast frame not yet consumed
+}
+
+// NewMerger pairs a slow and a fast feed. The fast feed's cycle must not
+// exceed the slow feed's.
+func NewMerger(slow, fast *Feed) (*Merger, error) {
+	if fast.Cycle > slow.Cycle {
+		return nil, fmt.Errorf("scada: fast feed cycle %v exceeds slow cycle %v", fast.Cycle, slow.Cycle)
+	}
+	return &Merger{Slow: slow, Fast: fast}, nil
+}
+
+// Next produces the next merged frame at the slow cadence.
+func (m *Merger) Next() (Frame, error) {
+	sf, err := m.Slow.Next()
+	if err != nil {
+		return Frame{}, err
+	}
+	// Advance the fast feed to the latest frame at or before the scan time.
+	var latest *Frame
+	for {
+		if m.pending == nil {
+			ff, err := m.Fast.Next()
+			if err != nil {
+				return Frame{}, err
+			}
+			m.pending = &ff
+		}
+		if m.pending.Timestamp > sf.Timestamp {
+			break
+		}
+		latest = m.pending
+		m.pending = nil
+	}
+
+	merged := Frame{Seq: sf.Seq, Timestamp: sf.Timestamp, NoiseLevel: sf.NoiseLevel}
+	if latest == nil {
+		merged.Measurements = append([]meas.Measurement(nil), sf.Measurements...)
+		return merged, nil
+	}
+	// PMU samples win on shared keys.
+	fromFast := make(map[string]bool, len(latest.Measurements))
+	for _, fm := range latest.Measurements {
+		fromFast[fm.Key()] = true
+	}
+	for _, sm := range sf.Measurements {
+		if !fromFast[sm.Key()] {
+			merged.Measurements = append(merged.Measurements, sm)
+		}
+	}
+	merged.Measurements = append(merged.Measurements, latest.Measurements...)
+	return merged, nil
+}

@@ -1,0 +1,143 @@
+package scada
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/meas"
+	"repro/internal/wls"
+)
+
+func TestMergerCombinesFeeds(t *testing.T) {
+	n, truth, _ := setup(t)
+	scadaPlan := meas.FullPlan().Build(n)
+	pmuPlan := []meas.Measurement{
+		{Kind: meas.Vmag, Bus: 1, Sigma: 0.0005},
+		{Kind: meas.Angle, Bus: 1, Sigma: 0.0005},
+	}
+	slow := NewSCADAFeed(n, truth, scadaPlan, 1)
+	fast := NewPMUFeed(n, truth, pmuPlan, 2)
+	m, err := NewMerger(slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged frame carries SCADA + PMU; the PMU Vmag at bus 1
+	// replaces the SCADA one (same key, PMU sigma).
+	countV1, hasAngle := 0, false
+	for _, mm := range fr.Measurements {
+		if mm.Kind == meas.Vmag && mm.Bus == 1 {
+			countV1++
+			if mm.Sigma != 0.0005 {
+				t.Errorf("bus-1 V sigma %g, want the PMU's 0.0005", mm.Sigma)
+			}
+		}
+		if mm.Kind == meas.Angle && mm.Bus == 1 {
+			hasAngle = true
+		}
+	}
+	if countV1 != 1 {
+		t.Fatalf("bus-1 V appears %d times after merge", countV1)
+	}
+	if !hasAngle {
+		t.Fatal("PMU angle missing from merged frame")
+	}
+	if len(fr.Measurements) != len(scadaPlan)+1 {
+		t.Fatalf("merged frame has %d measurements, want %d", len(fr.Measurements), len(scadaPlan)+1)
+	}
+}
+
+func TestMergerRejectsInvertedRates(t *testing.T) {
+	n, truth, plan := setup(t)
+	slow := NewSCADAFeed(n, truth, plan, 1)
+	fast := NewPMUFeed(n, truth, plan, 1)
+	if _, err := NewMerger(fast, slow); err == nil {
+		t.Fatal("fast-as-slow accepted")
+	}
+}
+
+func TestMergerAdvancesBothFeeds(t *testing.T) {
+	n, truth, plan := setup(t)
+	slow := NewSCADAFeed(n, truth, plan, 1)
+	fast := NewPMUFeed(n, truth, plan[:2], 2)
+	m, err := NewMerger(slow, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Timestamp <= f1.Timestamp {
+		t.Fatal("timestamps not advancing")
+	}
+	// ~120 PMU frames consumed per 4 s SCADA scan.
+	if fast.seq < 100 {
+		t.Fatalf("fast feed only advanced to %d", fast.seq)
+	}
+}
+
+// TestHybridEstimationBeatsSCADAOnly: adding PMU-grade phasors at a few
+// buses tightens the estimate — the motivation for hybrid SE.
+func TestHybridEstimationBeatsSCADAOnly(t *testing.T) {
+	n, truth, _ := setup(t)
+	scadaPlan := meas.FullPlan().Build(n)
+	var pmuPlan []meas.Measurement
+	for _, bus := range []int{1, 4, 9} {
+		pmuPlan = append(pmuPlan,
+			meas.Measurement{Kind: meas.Vmag, Bus: bus, Sigma: 0.0003},
+			meas.Measurement{Kind: meas.Angle, Bus: bus, Sigma: 0.0003})
+	}
+	estimateErr := func(ms []meas.Measurement) float64 {
+		ref := n.SlackIndex()
+		mod, err := meas.NewModel(n, ms, ref, truth.Va[ref])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := wls.Estimate(mod, wls.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range truth.Vm {
+			d := res.State.Vm[i] - truth.Vm[i]
+			sum += d * d
+			d = res.State.Va[i] - truth.Va[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+
+	// Average over several noise draws to avoid a lucky SCADA-only run.
+	var scadaErr, hybridErr float64
+	const trials = 5
+	for s := int64(0); s < trials; s++ {
+		slow := NewSCADAFeed(n, truth, scadaPlan, 100+s)
+		fast := NewPMUFeed(n, truth, pmuPlan, 200+s)
+		merger, err := NewMerger(slow, fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := NewSCADAFeed(n, truth, scadaPlan, 100+s).Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := merger.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scadaErr += estimateErr(sf.Measurements)
+		hybridErr += estimateErr(mf.Measurements)
+	}
+	if hybridErr >= scadaErr {
+		t.Errorf("hybrid RMS %.6f not better than SCADA-only %.6f", hybridErr/trials, scadaErr/trials)
+	}
+	t.Logf("state RMS: scada-only %.6f, hybrid %.6f", scadaErr/trials, hybridErr/trials)
+}

@@ -1,0 +1,7 @@
+package scada
+
+import "math/rand"
+
+// newRNG returns a deterministic PRNG for the given seed. Centralized so
+// feed components share one source construction point.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,126 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BiCGSTABOptions controls the stabilized bi-conjugate-gradient solver for
+// general (unsymmetric) sparse systems, used on Newton power-flow
+// Jacobians too large for dense LU.
+type BiCGSTABOptions struct {
+	// Tol is the relative residual target (default 1e-10).
+	Tol float64
+	// MaxIter caps iterations (default 4·n, at least 100).
+	MaxIter int
+	// Precond is the (left) preconditioner, normally ILU(0). Nil = none.
+	Precond Preconditioner
+	// Workers parallelizes the mat-vec (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ErrBiCGBreakdown reports a breakdown (ρ or ω collapsed) before
+// convergence; callers should fall back to a direct solve.
+var ErrBiCGBreakdown = errors.New("sparse: BiCGSTAB breakdown")
+
+// BiCGSTAB solves A·x = b for a general square sparse matrix.
+func BiCGSTAB(a *CSR, b []float64, opts BiCGSTABOptions) (CGResult, error) {
+	if a.Rows != a.Cols {
+		return CGResult{}, fmt.Errorf("sparse: BiCGSTAB requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return CGResult{}, fmt.Errorf("sparse: BiCGSTAB rhs length %d != %d", len(b), n)
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 4 * n
+		if maxIter < 100 {
+			maxIter = 100
+		}
+	}
+	var pre Preconditioner = IdentityPreconditioner{}
+	if opts.Precond != nil {
+		pre = opts.Precond
+	}
+
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return CGResult{X: make([]float64, n), Converged: true}, nil
+	}
+
+	x := make([]float64, n)
+	r := CopyVec(b) // x0 = 0
+	rhat := CopyVec(r)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	phat := make([]float64, n)
+	s := make([]float64, n)
+	shat := make([]float64, n)
+	t := make([]float64, n)
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	res := CGResult{X: x}
+	for k := 0; k < maxIter; k++ {
+		res.Iterations = k
+		res.Residual = Norm2(r) / bnorm
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		rhoNew := Dot(rhat, r)
+		if math.Abs(rhoNew) < 1e-300 {
+			return res, ErrBiCGBreakdown
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		pre.Apply(phat, p)
+		a.MulVecParallel(v, phat, opts.Workers)
+		den := Dot(rhat, v)
+		if math.Abs(den) < 1e-300 {
+			return res, ErrBiCGBreakdown
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if Norm2(s)/bnorm <= tol {
+			Axpy(alpha, phat, x)
+			res.Iterations = k + 1
+			res.Residual = Norm2(s) / bnorm
+			res.Converged = true
+			return res, nil
+		}
+		pre.Apply(shat, s)
+		a.MulVecParallel(t, shat, opts.Workers)
+		tt := Dot(t, t)
+		if tt == 0 {
+			return res, ErrBiCGBreakdown
+		}
+		omega = Dot(t, s) / tt
+		if math.Abs(omega) < 1e-300 {
+			return res, ErrBiCGBreakdown
+		}
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+	}
+	res.Iterations = maxIter
+	res.Residual = Norm2(r) / bnorm
+	if res.Residual <= tol {
+		res.Converged = true
+		return res, nil
+	}
+	return res, ErrCGDiverged
+}

@@ -1,0 +1,183 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDiagDominant builds a random unsymmetric diagonally dominant CSR
+// matrix (guaranteed nonsingular, ILU-friendly).
+func randomDiagDominant(rng *rand.Rand, n int) *CSR {
+	coo := NewCOO(n, n)
+	rowAbs := make([]float64, n)
+	for k := 0; k < 5*n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		v := rng.NormFloat64()
+		coo.Add(i, j, v)
+		rowAbs[i] += math.Abs(v)
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+func TestBiCGSTABSolvesUnsymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDiagDominant(rng, 80)
+	xTrue := make([]float64, 80)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 80)
+	a.MulVec(b, xTrue)
+	res, err := BiCGSTAB(a, b, BiCGSTABOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatalf("BiCGSTAB: %v", err)
+	}
+	for i := range xTrue {
+		if !almostEq(res.X[i], xTrue[i], 1e-8*(1+math.Abs(xTrue[i]))) {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], xTrue[i])
+		}
+	}
+}
+
+func TestBiCGSTABWithILU0FasterThanPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDiagDominant(rng, 300)
+	b := make([]float64, 300)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	plain, err := BiCGSTAB(a, b, BiCGSTABOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatalf("ilu: %v", err)
+	}
+	pre, err := BiCGSTAB(a, b, BiCGSTABOptions{Tol: 1e-10, Precond: ilu})
+	if err != nil {
+		t.Fatalf("preconditioned: %v", err)
+	}
+	if pre.Iterations > plain.Iterations {
+		t.Errorf("ILU(0) (%d iters) slower than plain (%d iters)", pre.Iterations, plain.Iterations)
+	}
+	// Both must actually solve the system.
+	for _, res := range []CGResult{plain, pre} {
+		if rn := residualNorm(a, res.X, b) / Norm2(b); rn > 1e-9 {
+			t.Fatalf("residual %g", rn)
+		}
+	}
+}
+
+func TestBiCGSTABMatchesDenseLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDiagDominant(rng, 40)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BiCGSTAB(a, b, BiCGSTABOptions{Tol: 1e-13, Precond: ilu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, err := SolveDense(a.ToDense(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xd {
+		if !almostEq(res.X[i], xd[i], 1e-7*(1+math.Abs(xd[i]))) {
+			t.Fatalf("x[%d]: BiCGSTAB %v vs LU %v", i, res.X[i], xd[i])
+		}
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomDiagDominant(rng, 10)
+	res, err := BiCGSTAB(a, make([]float64, 10), BiCGSTABOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero rhs: %v", err)
+	}
+}
+
+func TestBiCGSTABNonSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCSR(rng, 3, 4, 5)
+	if _, err := BiCGSTAB(a, make([]float64, 3), BiCGSTABOptions{}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestILU0ExactForTriangular(t *testing.T) {
+	// For a lower-triangular matrix, ILU(0) is the exact factorization:
+	// Apply must solve the system exactly.
+	coo := NewCOO(3, 3)
+	coo.Add(0, 0, 2)
+	coo.Add(1, 0, 1)
+	coo.Add(1, 1, 3)
+	coo.Add(2, 1, -1)
+	coo.Add(2, 2, 4)
+	a := coo.ToCSR()
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 7, 2}
+	z := make([]float64, 3)
+	ilu.Apply(z, b)
+	ax := make([]float64, 3)
+	a.MulVec(ax, z)
+	for i := range b {
+		if !almostEq(ax[i], b[i], 1e-12) {
+			t.Fatalf("A·z = %v, want %v", ax, b)
+		}
+	}
+}
+
+func TestILU0MissingDiagonal(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1) // no (1,1)
+	if _, err := NewILU0(coo.ToCSR()); err == nil {
+		t.Fatal("missing diagonal accepted")
+	}
+}
+
+// Property: ILU(0)-preconditioned BiCGSTAB solves random diagonally
+// dominant unsymmetric systems.
+func TestBiCGSTABQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ilu, err := NewILU0(a)
+		if err != nil {
+			return false
+		}
+		res, err := BiCGSTAB(a, b, BiCGSTABOptions{Tol: 1e-9, Precond: ilu})
+		if err != nil {
+			return false
+		}
+		return residualNorm(a, res.X, b)/Norm2(b) <= 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CGOptions controls the preconditioned conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖b−A·x‖₂ ≤ Tol·‖b‖₂.
+	// Zero selects the default 1e-10.
+	Tol float64
+	// MaxIter bounds the iteration count. Zero selects 4·n (a generous
+	// bound; exact CG converges in at most n steps in exact arithmetic).
+	MaxIter int
+	// Precond is the preconditioner; nil selects identity.
+	Precond Preconditioner
+	// Workers is the goroutine count for the parallel mat-vec;
+	// 0 selects GOMAXPROCS, 1 forces serial.
+	Workers int
+	// X0 is an optional initial guess (length n). Nil means the zero vector.
+	X0 []float64
+}
+
+// CGResult reports how a CG solve went.
+type CGResult struct {
+	X          []float64 // solution
+	Iterations int       // iterations performed
+	Residual   float64   // final relative residual
+	Converged  bool
+}
+
+// ErrCGDiverged reports that CG hit its iteration cap before reaching the
+// requested tolerance.
+var ErrCGDiverged = errors.New("sparse: conjugate gradient did not converge")
+
+// CG solves A·x = b for symmetric positive-definite A using the
+// preconditioned conjugate-gradient method. The returned CGResult is valid
+// even on ErrCGDiverged (it holds the best iterate reached).
+func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
+	if a.Rows != a.Cols {
+		return CGResult{}, fmt.Errorf("sparse: CG requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return CGResult{}, fmt.Errorf("sparse: CG rhs length %d != %d", len(b), n)
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 4 * n
+		if maxIter < 64 {
+			maxIter = 64
+		}
+	}
+	var pre Preconditioner = IdentityPreconditioner{}
+	if opts.Precond != nil {
+		pre = opts.Precond
+	}
+
+	x := make([]float64, n)
+	r := CopyVec(b)
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return CGResult{}, fmt.Errorf("sparse: CG x0 length %d != %d", len(opts.X0), n)
+		}
+		copy(x, opts.X0)
+		ax := make([]float64, n)
+		a.MulVecParallel(ax, x, opts.Workers)
+		Sub(r, b, ax)
+	}
+
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return CGResult{X: x, Converged: true}, nil
+	}
+
+	z := make([]float64, n)
+	pre.Apply(z, r)
+	p := CopyVec(z)
+	ap := make([]float64, n)
+	rz := Dot(r, z)
+
+	res := CGResult{X: x}
+	for k := 0; k < maxIter; k++ {
+		rnorm := Norm2(r)
+		res.Residual = rnorm / bnorm
+		res.Iterations = k
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		a.MulVecParallel(ap, p, opts.Workers)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return res, ErrNotSPD
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		pre.Apply(z, r)
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Iterations = maxIter
+	res.Residual = Norm2(r) / bnorm
+	res.Converged = res.Residual <= tol
+	if !res.Converged {
+		return res, ErrCGDiverged
+	}
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MulVec computes y = A·x. y must have length A.Rows and x length A.Cols.
+func (a *CSR) MulVec(y, x []float64) {
+	a.checkMulDims(y, x)
+	for i := 0; i < a.Rows; i++ {
+		sum := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			sum += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// MulVecParallel computes y = A·x splitting rows across workers goroutines.
+// workers <= 0 selects runtime.GOMAXPROCS(0). Rows are divided into
+// contiguous blocks so each worker writes a disjoint slice of y.
+func (a *CSR) MulVecParallel(y, x []float64, workers int) {
+	a.checkMulDims(y, x)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 || a.Rows < 256 {
+		a.MulVec(y, x)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * a.Rows / workers
+		hi := (w + 1) * a.Rows / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sum := 0.0
+				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+					sum += a.Val[k] * x[a.ColIdx[k]]
+				}
+				y[i] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulTransVec computes y = Aᵀ·x. y must have length A.Cols and x length A.Rows.
+func (a *CSR) MulTransVec(y, x []float64) {
+	if len(y) != a.Cols || len(x) != a.Rows {
+		panic(fmt.Sprintf("sparse: MulTransVec dims y=%d x=%d for %dx%d", len(y), len(x), a.Rows, a.Cols))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			y[a.ColIdx[k]] += a.Val[k] * xi
+		}
+	}
+}
+
+func (a *CSR) checkMulDims(y, x []float64) {
+	if len(y) != a.Rows || len(x) != a.Cols {
+		panic(fmt.Sprintf("sparse: MulVec dims y=%d x=%d for %dx%d", len(y), len(x), a.Rows, a.Cols))
+	}
+}
+
+// Gain computes the weighted normal-equation ("gain") matrix G = Hᵀ·diag(w)·H.
+// w must have length H.Rows; the result is an H.Cols × H.Cols symmetric
+// positive-semidefinite CSR matrix (positive-definite when H has full column
+// rank and w > 0). This is the core product of WLS state estimation.
+func Gain(h *CSR, w []float64) *CSR {
+	if len(w) != h.Rows {
+		panic(fmt.Sprintf("sparse: Gain weight length %d != rows %d", len(w), h.Rows))
+	}
+	n := h.Cols
+	coo := NewCOO(n, n)
+	// G(i,j) = Σ_m w[m]·H(m,i)·H(m,j). Iterate measurements (rows of H) and
+	// emit the outer product of each sparse row with itself.
+	for m := 0; m < h.Rows; m++ {
+		wm := w[m]
+		lo, hi := h.RowPtr[m], h.RowPtr[m+1]
+		for p := lo; p < hi; p++ {
+			ci, vi := h.ColIdx[p], h.Val[p]
+			for q := lo; q < hi; q++ {
+				coo.Add(ci, h.ColIdx[q], wm*vi*h.Val[q])
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// GainRHS computes g = Hᵀ·diag(w)·r, the right-hand side of the WLS normal
+// equations, into a freshly allocated vector of length H.Cols.
+func GainRHS(h *CSR, w, r []float64) []float64 {
+	if len(w) != h.Rows || len(r) != h.Rows {
+		panic("sparse: GainRHS dimension mismatch")
+	}
+	wr := make([]float64, h.Rows)
+	for i := range wr {
+		wr[i] = w[i] * r[i]
+	}
+	g := make([]float64, h.Cols)
+	h.MulTransVec(g, wr)
+	return g
+}
+
+// SelectRows returns the submatrix of A formed by the given rows, in order.
+// Column dimension is preserved.
+func (a *CSR) SelectRows(rows []int) *CSR {
+	nnz := 0
+	for _, r := range rows {
+		nnz += a.RowNNZ(r)
+	}
+	rowPtr := make([]int, len(rows)+1)
+	colIdx := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for i, r := range rows {
+		if r < 0 || r >= a.Rows {
+			panic(fmt.Sprintf("sparse: SelectRows row %d out of range %d", r, a.Rows))
+		}
+		colIdx = append(colIdx, a.ColIdx[a.RowPtr[r]:a.RowPtr[r+1]]...)
+		val = append(val, a.Val[a.RowPtr[r]:a.RowPtr[r+1]]...)
+		rowPtr[i+1] = len(val)
+	}
+	return &CSR{Rows: len(rows), Cols: a.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// SelectCols returns the submatrix with only the given columns (renumbered
+// 0..len(cols)-1 in the given order). Rows keep their positions.
+func (a *CSR) SelectCols(cols []int) *CSR {
+	remap := make(map[int]int, len(cols))
+	for newIdx, c := range cols {
+		if c < 0 || c >= a.Cols {
+			panic(fmt.Sprintf("sparse: SelectCols col %d out of range %d", c, a.Cols))
+		}
+		remap[c] = newIdx
+	}
+	coo := NewCOO(a.Rows, len(cols))
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if nc, ok := remap[a.ColIdx[k]]; ok {
+				coo.Add(i, nc, a.Val[k])
+			}
+		}
+	}
+	return coo.ToCSR()
+}

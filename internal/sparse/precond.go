@@ -1,0 +1,246 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Preconditioner applies z = M⁻¹·r for some approximation M ≈ A that is
+// cheap to invert. Implementations must be safe for repeated use but need
+// not be safe for concurrent use.
+type Preconditioner interface {
+	// Apply writes M⁻¹·r into z. z and r have the system dimension and
+	// must not alias.
+	Apply(z, r []float64)
+	// Name identifies the preconditioner in logs and benchmarks.
+	Name() string
+}
+
+// IdentityPreconditioner is the no-op preconditioner (plain CG).
+type IdentityPreconditioner struct{}
+
+// Apply copies r into z.
+func (IdentityPreconditioner) Apply(z, r []float64) { copy(z, r) }
+
+// Name implements Preconditioner.
+func (IdentityPreconditioner) Name() string { return "none" }
+
+// JacobiPreconditioner scales by the inverse diagonal of A. It is the
+// preconditioner used by default in the parallel PCG state-estimation
+// solver: embarrassingly parallel and effective on diagonally dominant
+// gain matrices.
+type JacobiPreconditioner struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the diagonal of a. It
+// returns an error if any diagonal entry is zero or not finite.
+func NewJacobi(a *CSR) (*JacobiPreconditioner, error) {
+	d := a.Diagonal()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sparse: jacobi: unusable diagonal entry %g at %d", v, i)
+		}
+		inv[i] = 1 / v
+	}
+	return &JacobiPreconditioner{invDiag: inv}, nil
+}
+
+// Apply implements Preconditioner.
+func (p *JacobiPreconditioner) Apply(z, r []float64) {
+	for i := range z {
+		z[i] = r[i] * p.invDiag[i]
+	}
+}
+
+// Name implements Preconditioner.
+func (p *JacobiPreconditioner) Name() string { return "jacobi" }
+
+// IC0Preconditioner is a zero-fill incomplete Cholesky factorization
+// A ≈ L·Lᵀ restricted to the sparsity pattern of the lower triangle of A.
+// Apply solves L·y = r then Lᵀ·z = y.
+type IC0Preconditioner struct {
+	n      int
+	rowPtr []int // CSR of L (strictly sorted columns, diagonal last entry)
+	colIdx []int
+	val    []float64
+	diag   []int // position of the diagonal entry in each row of L
+}
+
+// ErrNotSPD reports that a factorization or solve encountered a
+// non-positive pivot, i.e. the matrix is not symmetric positive definite
+// (or the incomplete factorization broke down).
+var ErrNotSPD = errors.New("sparse: matrix is not positive definite (pivot <= 0)")
+
+// NewIC0 computes the IC(0) factorization of the symmetric matrix a.
+// Only the lower triangle of a is read. Breakdown (non-positive pivot)
+// is repaired by a diagonal shift fallback: the offending pivot is replaced
+// by the square root of the original diagonal entry, which keeps the
+// preconditioner SPD at some cost in quality.
+func NewIC0(a *CSR) (*IC0Preconditioner, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: IC0 requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	p := &IC0Preconditioner{n: n}
+	p.rowPtr = make([]int, n+1)
+	// Extract the lower triangle (including diagonal).
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] <= i {
+				p.colIdx = append(p.colIdx, a.ColIdx[k])
+				p.val = append(p.val, a.Val[k])
+			}
+		}
+		p.rowPtr[i+1] = len(p.val)
+	}
+	p.diag = make([]int, n)
+	for i := 0; i < n; i++ {
+		lo, hi := p.rowPtr[i], p.rowPtr[i+1]
+		if hi == lo || p.colIdx[hi-1] != i {
+			return nil, fmt.Errorf("sparse: IC0: missing diagonal at row %d", i)
+		}
+		p.diag[i] = hi - 1
+	}
+	// In-place IKJ incomplete factorization.
+	// colPos[j] maps column j -> entry index within the current row i.
+	colPos := make([]int, n)
+	for j := range colPos {
+		colPos[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := p.rowPtr[i], p.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			colPos[p.colIdx[k]] = k
+		}
+		for k := lo; k < hi-1; k++ { // for each off-diagonal L(i,j), j<i
+			j := p.colIdx[k]
+			// L(i,j) = (A(i,j) - Σ_{t<j} L(i,t)·L(j,t)) / L(j,j)
+			sum := p.val[k]
+			for t := p.rowPtr[j]; t < p.diag[j]; t++ {
+				cj := p.colIdx[t]
+				if ip := colPos[cj]; ip >= 0 && ip < k {
+					sum -= p.val[ip] * p.val[t]
+				}
+			}
+			djj := p.val[p.diag[j]]
+			p.val[k] = sum / djj
+		}
+		// Diagonal: L(i,i) = sqrt(A(i,i) - Σ_{t<i} L(i,t)²)
+		sum := p.val[hi-1]
+		for k := lo; k < hi-1; k++ {
+			sum -= p.val[k] * p.val[k]
+		}
+		if sum <= 0 {
+			// Breakdown repair: fall back to the (positive) original diagonal.
+			orig := a.At(i, i)
+			if orig <= 0 {
+				return nil, ErrNotSPD
+			}
+			sum = orig
+		}
+		p.val[hi-1] = math.Sqrt(sum)
+		for k := lo; k < hi; k++ {
+			colPos[p.colIdx[k]] = -1
+		}
+	}
+	return p, nil
+}
+
+// Apply implements Preconditioner: z = (L·Lᵀ)⁻¹·r.
+func (p *IC0Preconditioner) Apply(z, r []float64) {
+	// Forward solve L·y = r (y stored in z).
+	for i := 0; i < p.n; i++ {
+		sum := r[i]
+		lo, hi := p.rowPtr[i], p.rowPtr[i+1]
+		for k := lo; k < hi-1; k++ {
+			sum -= p.val[k] * z[p.colIdx[k]]
+		}
+		z[i] = sum / p.val[hi-1]
+	}
+	// Backward solve Lᵀ·z = y, traversing rows in reverse and scattering.
+	for i := p.n - 1; i >= 0; i-- {
+		lo, hi := p.rowPtr[i], p.rowPtr[i+1]
+		z[i] /= p.val[hi-1]
+		zi := z[i]
+		for k := lo; k < hi-1; k++ {
+			z[p.colIdx[k]] -= p.val[k] * zi
+		}
+	}
+}
+
+// Name implements Preconditioner.
+func (p *IC0Preconditioner) Name() string { return "ic0" }
+
+// SSORPreconditioner implements the symmetric successive over-relaxation
+// preconditioner M = (D/ω + L)·(D/ω)⁻¹·(D/ω + L)ᵀ / (2-ω) for a symmetric
+// matrix with lower triangle L and diagonal D.
+type SSORPreconditioner struct {
+	n      int
+	omega  float64
+	a      *CSR
+	diag   []float64
+	scale  float64
+	lower  *CSR // strictly lower triangle
+	upperT *CSR // strictly lower triangle again (Lᵀ applied by scatter)
+}
+
+// NewSSOR builds an SSOR preconditioner with relaxation factor omega in (0,2).
+func NewSSOR(a *CSR, omega float64) (*SSORPreconditioner, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: SSOR requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if omega <= 0 || omega >= 2 {
+		return nil, fmt.Errorf("sparse: SSOR omega %g outside (0,2)", omega)
+	}
+	d := a.Diagonal()
+	for i, v := range d {
+		if v <= 0 {
+			return nil, fmt.Errorf("sparse: SSOR: non-positive diagonal %g at %d", v, i)
+		}
+	}
+	coo := NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] < i {
+				coo.Add(i, a.ColIdx[k], a.Val[k])
+			}
+		}
+	}
+	lower := coo.ToCSR()
+	return &SSORPreconditioner{
+		n: a.Rows, omega: omega, a: a, diag: d,
+		scale: 2 - omega, lower: lower, upperT: lower,
+	}, nil
+}
+
+// Apply implements Preconditioner.
+func (p *SSORPreconditioner) Apply(z, r []float64) {
+	w := p.omega
+	// Forward: (D/ω + L)·y = r
+	for i := 0; i < p.n; i++ {
+		sum := r[i]
+		for k := p.lower.RowPtr[i]; k < p.lower.RowPtr[i+1]; k++ {
+			sum -= p.lower.Val[k] * z[p.lower.ColIdx[k]]
+		}
+		z[i] = sum * w / p.diag[i]
+	}
+	// Scale by D/ω then multiply by (2-ω) factor folded in at the end.
+	for i := 0; i < p.n; i++ {
+		z[i] *= p.diag[i] / w
+	}
+	// Backward: (D/ω + Lᵀ)·z = y, scatter form over rows in reverse.
+	for i := p.n - 1; i >= 0; i-- {
+		z[i] *= w / p.diag[i]
+		zi := z[i]
+		for k := p.upperT.RowPtr[i]; k < p.upperT.RowPtr[i+1]; k++ {
+			z[p.upperT.ColIdx[k]] -= p.upperT.Val[k] * zi
+		}
+	}
+	Scal(p.scale, z)
+}
+
+// Name implements Preconditioner.
+func (p *SSORPreconditioner) Name() string { return "ssor" }

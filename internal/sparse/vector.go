@@ -1,0 +1,59 @@
+package sparse
+
+import "math"
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// NormInf returns the maximum absolute entry of v (0 for an empty vector).
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha·x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("sparse: Axpy length mismatch")
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scal scales v by alpha in place.
+func Scal(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// CopyVec returns a fresh copy of v.
+func CopyVec(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// Sub computes dst = a - b. dst may alias a or b.
+func Sub(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("sparse: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}

@@ -1,0 +1,149 @@
+package wls
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/meas"
+	"repro/internal/sparse"
+)
+
+// ChiSquareTest performs the J(x̂) chi-square goodness-of-fit test for bad
+// data: with m measurements and n states, J(x̂) follows χ²(m−n) under the
+// null hypothesis of Gaussian meter noise only. It returns the test
+// threshold at the given confidence (e.g. 0.99) and whether bad data is
+// suspected (J exceeds the threshold).
+func ChiSquareTest(res *Result, mod *meas.Model, confidence float64) (threshold float64, suspect bool, err error) {
+	dof := mod.NMeas() - mod.NState()
+	if dof <= 0 {
+		return 0, false, fmt.Errorf("wls: chi-square test needs redundancy (m=%d, n=%d)", mod.NMeas(), mod.NState())
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, false, fmt.Errorf("wls: confidence %g outside (0,1)", confidence)
+	}
+	threshold = chiSquareQuantile(float64(dof), confidence)
+	return threshold, res.ObjectiveJ > threshold, nil
+}
+
+// chiSquareQuantile approximates the χ²(k) quantile via the
+// Wilson–Hilferty transformation; accurate to a few percent for k ≥ 3,
+// which is ample for a detection threshold.
+func chiSquareQuantile(k, p float64) float64 {
+	z := math.Sqrt2 * math.Erfinv(2*p-1)
+	a := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * a * a * a
+}
+
+// NormalizedResiduals computes rᴺ_i = |r_i| / √Ω_ii where
+// Ω = R − H·G⁻¹·Hᵀ is the residual covariance. It uses a dense factorization
+// of the gain matrix, which is exact and affordable for the network sizes in
+// this reproduction (n ≤ a few hundred).
+func NormalizedResiduals(res *Result, mod *meas.Model) ([]float64, error) {
+	hj := mod.Jacobian(res.X)
+	w := mod.Weights()
+	g := sparse.Gain(hj, w)
+	lu, err := sparse.Factor(g.ToDense())
+	if err != nil {
+		return nil, fmt.Errorf("wls: gain factorization for residual covariance: %w", err)
+	}
+	n := mod.NState()
+	m := mod.NMeas()
+	out := make([]float64, m)
+	// For each measurement row h_i: Ω_ii = R_ii − h_i·G⁻¹·h_iᵀ.
+	hi := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := range hi {
+			hi[j] = 0
+		}
+		for k := hj.RowPtr[i]; k < hj.RowPtr[i+1]; k++ {
+			hi[hj.ColIdx[k]] = hj.Val[k]
+		}
+		y, err := lu.Solve(hi)
+		if err != nil {
+			return nil, err
+		}
+		omega := mod.Meas[i].Sigma*mod.Meas[i].Sigma - sparse.Dot(hi, y)
+		if omega < 1e-12 {
+			// Critical measurement: residual is structurally zero and its
+			// error is undetectable. Report 0 so it is never flagged.
+			out[i] = 0
+			continue
+		}
+		out[i] = math.Abs(res.Residuals[i]) / math.Sqrt(omega)
+	}
+	return out, nil
+}
+
+// BadDatum describes one identified bad measurement.
+type BadDatum struct {
+	Index      int     // index into the model's measurement slice
+	Key        string  // measurement identity
+	Normalized float64 // normalized residual at identification time
+}
+
+// IdentifyBadData runs the classical largest-normalized-residual cycle:
+// estimate, test, remove the worst measurement, repeat, until all
+// normalized residuals fall below the identification threshold (typically
+// 3.0) or maxRemovals is reached. It returns the removed measurements and
+// the final clean estimation result.
+func IdentifyBadData(mod *meas.Model, opts Options, threshold float64, maxRemovals int) ([]BadDatum, *Result, error) {
+	if threshold <= 0 {
+		threshold = 3.0
+	}
+	if maxRemovals <= 0 {
+		maxRemovals = 5
+	}
+	type idxMeas struct {
+		orig int
+		m    meas.Measurement
+	}
+	working := make([]idxMeas, len(mod.Meas))
+	for i, m := range mod.Meas {
+		working[i] = idxMeas{i, m}
+	}
+	var removed []BadDatum
+	for {
+		ms := make([]meas.Measurement, len(working))
+		for i, im := range working {
+			ms[i] = im.m
+		}
+		ref := mod.Net.SlackIndex()
+		sub, err := meas.NewModel(mod.Net, ms, ref, refAngleOf(mod))
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := Estimate(sub, opts)
+		if err != nil {
+			return removed, res, err
+		}
+		rn, err := NormalizedResiduals(res, sub)
+		if err != nil {
+			return removed, res, err
+		}
+		worst, worstVal := -1, threshold
+		for i, v := range rn {
+			if v > worstVal {
+				worst, worstVal = i, v
+			}
+		}
+		if worst < 0 {
+			return removed, res, nil
+		}
+		if len(removed) >= maxRemovals {
+			return removed, res, fmt.Errorf("wls: still detecting bad data after %d removals", maxRemovals)
+		}
+		removed = append(removed, BadDatum{
+			Index:      working[worst].orig,
+			Key:        working[worst].m.Key(),
+			Normalized: worstVal,
+		})
+		working = append(working[:worst], working[worst+1:]...)
+	}
+}
+
+// refAngleOf recovers the reference angle a model was built with by
+// evaluating the reference bus angle from the flat vector.
+func refAngleOf(mod *meas.Model) float64 {
+	st := mod.VecToState(mod.FlatVec())
+	return st.Va[mod.Net.SlackIndex()]
+}

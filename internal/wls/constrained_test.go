@@ -1,0 +1,137 @@
+package wls
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+)
+
+func TestZeroInjectionConstraintsScan(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 0, 1)
+	cs := ZeroInjectionConstraints(mod)
+	// IEEE-14 has exactly one true transit bus: bus 7 (bus 8's condenser
+	// counts as generation; bus 9 carries a shunt).
+	want := map[int]bool{7: true}
+	seen := map[int]bool{}
+	for _, c := range cs {
+		seen[c.Bus] = true
+	}
+	for b := range want {
+		if !seen[b] {
+			t.Errorf("transit bus %d not found", b)
+		}
+	}
+	for b := range seen {
+		if !want[b] {
+			t.Errorf("bus %d wrongly marked zero-injection", b)
+		}
+	}
+	if len(cs) != 2 {
+		t.Fatalf("%d constraints, want 2 (P and Q at bus 7)", len(cs))
+	}
+}
+
+func TestEstimateConstrainedEnforcesExactly(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 57)
+	cs := ZeroInjectionConstraints(mod)
+	res, err := EstimateConstrained(mod, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxConstraintViolation > 1e-8 {
+		t.Errorf("constraint violation %g, want ~0", res.MaxConstraintViolation)
+	}
+	if len(res.Lambda) != len(cs) {
+		t.Fatalf("%d multipliers for %d constraints", len(res.Lambda), len(cs))
+	}
+	// Compare with the large-weight virtual-measurement approximation: the
+	// constrained solve must satisfy the constraint at least as well.
+	virt := append(append([]meas.Measurement(nil), mod.Meas...),
+		meas.Measurement{Kind: meas.Pinj, Bus: 7, Sigma: 1e-4, Value: 0},
+		meas.Measurement{Kind: meas.Qinj, Bus: 7, Sigma: 1e-4, Value: 0})
+	ref := n.SlackIndex()
+	vmod, err := meas.NewModel(n, virt, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, err := Estimate(vmod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the virtual solution's injection at bus 7.
+	cmod, err := meas.NewModel(n, []meas.Measurement{
+		{Kind: meas.Pinj, Bus: 7, Sigma: 1},
+	}, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	vViol := math.Abs(cmod.Eval(vres.X)[0])
+	if res.MaxConstraintViolation > vViol+1e-12 {
+		t.Errorf("KKT violation %g worse than weighted approximation %g",
+			res.MaxConstraintViolation, vViol)
+	}
+	// And the overall estimate stays accurate.
+	dvm, dva := maxStateError(res.State, truth)
+	if dvm > 0.01 || dva > 0.01 {
+		t.Fatalf("constrained estimate error Vm=%g Va=%g", dvm, dva)
+	}
+}
+
+func TestEstimateConstrainedNoConstraintsFallsBack(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 59)
+	plain, err := Estimate(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateConstrained(mod, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.X {
+		if plain.X[i] != res.X[i] {
+			t.Fatal("no-constraint path differs from plain Estimate")
+		}
+	}
+}
+
+func TestEstimateConstrainedValidation(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 0, 1)
+	if _, err := EstimateConstrained(mod, []Constraint{{Kind: meas.Vmag, Bus: 7}}, Options{}); !errors.Is(err, ErrBadConstraint) {
+		t.Errorf("Vmag constraint: %v", err)
+	}
+	if _, err := EstimateConstrained(mod, []Constraint{{Kind: meas.Pinj, Bus: 999}}, Options{}); !errors.Is(err, ErrBadConstraint) {
+		t.Errorf("unknown bus: %v", err)
+	}
+}
+
+func TestEstimateConstrained118(t *testing.T) {
+	n := grid.Case118()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 63)
+	cs := ZeroInjectionConstraints(mod)
+	if len(cs) < 6 {
+		t.Fatalf("expected several transit buses on 118, got %d constraints", len(cs))
+	}
+	res, err := EstimateConstrained(mod, cs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxConstraintViolation > 1e-7 {
+		t.Errorf("violation %g", res.MaxConstraintViolation)
+	}
+	dvm, _ := maxStateError(res.State, truth)
+	if dvm > 0.01 {
+		t.Errorf("error %g", dvm)
+	}
+}

@@ -1,0 +1,57 @@
+package wls
+
+import (
+	"fmt"
+
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+	"repro/internal/sparse"
+)
+
+// BuildFDIAttack constructs a coordinated false-data-injection attack
+// against a measurement set: given a desired state perturbation c (in the
+// model's state-vector layout), the attack vector a = H(x̂)·c is added to
+// the measurements. Because a lies in the Jacobian's column space, the
+// residual vector — and therefore the chi-square and normalized-residual
+// detectors — is (to first order) unchanged, while the estimate shifts by
+// c. This is the classic undetectable-attack construction (Liu et al.)
+// behind the false-data-detection research the paper cites [10]; DSE
+// changes the attack surface because an attacker must compromise
+// measurements consistently across subsystem boundaries.
+//
+// base is the (already valued) measurement set; x is the state the attack
+// is linearized around (normally the pre-attack estimate).
+func BuildFDIAttack(mod *meas.Model, x []float64, c []float64) ([]meas.Measurement, error) {
+	if len(c) != mod.NState() {
+		return nil, fmt.Errorf("wls: attack direction length %d != state dim %d", len(c), mod.NState())
+	}
+	hj := mod.Jacobian(x)
+	a := make([]float64, mod.NMeas())
+	hj.MulVec(a, c)
+	out := append([]meas.Measurement(nil), mod.Meas...)
+	for i := range out {
+		out[i].Value += a[i]
+	}
+	return out, nil
+}
+
+// StatePerturbation builds a state-vector perturbation that shifts the
+// voltage angle of the given external bus by delta radians (other states
+// untouched), for use with BuildFDIAttack.
+func StatePerturbation(mod *meas.Model, busID int, deltaVa float64) ([]float64, error) {
+	i, ok := mod.Net.Index(busID)
+	if !ok {
+		return nil, fmt.Errorf("wls: unknown bus %d", busID)
+	}
+	// Locate the angle position by probing the layout: build a state with
+	// only that bus's angle set and pack it.
+	st := powerflow.State{Vm: make([]float64, mod.Net.N()), Va: make([]float64, mod.Net.N())}
+	st.Va[i] = deltaVa
+	c := mod.StateToVec(st)
+	// StateToVec also packed the zero magnitudes; that is exactly the
+	// perturbation we want (ΔVm = 0, ΔVa = delta at one bus).
+	if sparse.NormInf(c) == 0 {
+		return nil, fmt.Errorf("wls: bus %d is the angle reference; its angle cannot be perturbed", busID)
+	}
+	return c, nil
+}

@@ -1,0 +1,133 @@
+package wls
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+)
+
+// TestFDIAttackEvadesDetection verifies the classic result the false-data
+// research builds on: an attack vector in the Jacobian column space shifts
+// the estimate without raising the chi-square statistic.
+func TestFDIAttackEvadesDetection(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 81)
+
+	clean, err := Estimate(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const targetBus = 10
+	const delta = 0.05 // 50 mrad angle shift — operationally significant
+	c, err := StatePerturbation(mod, targetBus, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := BuildFDIAttack(mod, clean.X, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := n.SlackIndex()
+	attMod, err := meas.NewModel(n, attacked, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := Estimate(attMod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The estimate moved by ~delta at the target bus.
+	i := n.MustIndex(targetBus)
+	shift := att.State.Va[i] - clean.State.Va[i]
+	if math.Abs(shift-delta) > 0.01 {
+		t.Errorf("angle shift %g, want ≈%g", shift, delta)
+	}
+	// 2. The chi-square statistic stays in the clean range (undetected).
+	_, cleanSuspect, err := ChiSquareTest(clean, mod, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, attSuspect, err := ChiSquareTest(att, attMod, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanSuspect {
+		t.Fatal("clean data flagged")
+	}
+	if attSuspect {
+		t.Error("coordinated FDI attack detected by chi-square — residual invariance broken")
+	}
+	// J should be close to the clean J (first-order invariance).
+	if att.ObjectiveJ > 2*clean.ObjectiveJ+10 {
+		t.Errorf("attack J = %g vs clean %g", att.ObjectiveJ, clean.ObjectiveJ)
+	}
+}
+
+// TestNaiveAttackIsDetected: shifting the same measurements by the same
+// total energy but WITHOUT coordination (not in the column space) is
+// caught.
+func TestNaiveAttackIsDetected(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 83)
+	clean, err := Estimate(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StatePerturbation(mod, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordinated, err := BuildFDIAttack(mod, clean.X, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoordinate: apply each attack component to the WRONG measurement
+	// (rotate by one), breaking column-space membership while keeping the
+	// same magnitudes.
+	naive := append([]meas.Measurement(nil), mod.Meas...)
+	m := len(naive)
+	for i := range naive {
+		delta := coordinated[(i+1)%m].Value - mod.Meas[(i+1)%m].Value
+		naive[i].Value += delta
+	}
+	ref := n.SlackIndex()
+	naiveMod, err := meas.NewModel(n, naive, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(naiveMod, Options{})
+	if err != nil {
+		// A wildly inconsistent measurement set may simply fail to
+		// converge — that also counts as "detected".
+		t.Logf("naive attack broke convergence (acceptable): %v", err)
+		return
+	}
+	_, suspect, err := ChiSquareTest(res, naiveMod, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suspect {
+		t.Error("uncoordinated attack passed the chi-square test")
+	}
+}
+
+func TestStatePerturbationValidation(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 0, 1)
+	if _, err := StatePerturbation(mod, 999, 0.1); err == nil {
+		t.Error("unknown bus accepted")
+	}
+	// The reference bus angle is not a state: must be rejected.
+	if _, err := StatePerturbation(mod, n.Buses[n.SlackIndex()].ID, 0.1); err == nil {
+		t.Error("reference-bus perturbation accepted")
+	}
+	if _, err := BuildFDIAttack(mod, mod.FlatVec(), []float64{1}); err == nil {
+		t.Error("short attack direction accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package wls
+
+import (
+	"math"
+
+	"repro/internal/meas"
+	"repro/internal/sparse"
+)
+
+// Observability reports the result of a numerical observability analysis.
+type Observability struct {
+	Observable bool
+	// Rank is the numerical rank of the gain matrix.
+	Rank int
+	// NState is the full state dimension.
+	NState int
+	// WeakStates lists state-vector positions associated with (near-)zero
+	// pivots — the unobservable directions when Observable is false.
+	WeakStates []int
+}
+
+// CheckObservability performs numerical observability analysis: it
+// factorizes the flat-start gain matrix G = HᵀWH with diagonal pivoting and
+// counts pivots above a relative threshold. A full-rank gain matrix means
+// the measurement set determines the whole state (Monticelli's numerical
+// criterion).
+func CheckObservability(mod *meas.Model) Observability {
+	x := mod.FlatVec()
+	hj := mod.Jacobian(x)
+	w := mod.Weights()
+	g := sparse.Gain(hj, w).ToDense()
+	n := mod.NState()
+
+	// Symmetric Gaussian elimination with diagonal pivoting; G is PSD so
+	// diagonal pivots are valid and zero pivots flag unobservable states.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(g.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		return Observability{Observable: false, Rank: 0, NState: n, WeakStates: perm}
+	}
+	thresh := maxDiag * 1e-10
+	obs := Observability{NState: n}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	for step := 0; step < n; step++ {
+		// Pick the largest remaining diagonal.
+		best, bestVal := -1, thresh
+		for i := 0; i < n; i++ {
+			if active[i] && g.At(i, i) > bestVal {
+				best, bestVal = i, g.At(i, i)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		obs.Rank++
+		active[best] = false
+		piv := g.At(best, best)
+		for r := 0; r < n; r++ {
+			if !active[r] {
+				continue
+			}
+			f := g.At(r, best) / piv
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				if active[c] {
+					g.AddAt(r, c, -f*g.At(best, c))
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if active[i] {
+			obs.WeakStates = append(obs.WeakStates, i)
+		}
+	}
+	obs.Observable = obs.Rank == n
+	return obs
+}

@@ -1,0 +1,90 @@
+package wls
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// solveQR computes the Gauss–Newton step by orthogonal factorization: it
+// triangularizes the weighted Jacobian √W·H with Givens rotations, row by
+// row, and back-substitutes R·Δx = d. Unlike the normal-equation path it
+// never forms HᵀWH, so its conditioning is κ(H) instead of κ(H)² — the
+// numerically robust method of Abur & Expósito, ch. 3.
+//
+// R is held as dense upper-triangular rows, which is exact and affordable
+// for the network sizes the QR path targets (n up to a few hundred; the
+// PCG path remains the scalable default).
+func solveQR(h *sparse.CSR, w, r []float64) ([]float64, error) {
+	m, n := h.Rows, h.Cols
+	if m < n {
+		return nil, ErrUnobservable
+	}
+	// R rows: R[i] stores columns i..n-1. d is the rotated RHS.
+	rmat := make([][]float64, n)
+	d := make([]float64, n)
+	occupied := make([]bool, n)
+
+	row := make([]float64, n)
+	for mi := 0; mi < m; mi++ {
+		// Scatter √w_i · H_i into the dense work row.
+		for k := range row {
+			row[k] = 0
+		}
+		sw := math.Sqrt(w[mi])
+		lo, hi := h.RowPtr[mi], h.RowPtr[mi+1]
+		first := n
+		for k := lo; k < hi; k++ {
+			c := h.ColIdx[k]
+			row[c] = sw * h.Val[k]
+			if c < first {
+				first = c
+			}
+		}
+		beta := sw * r[mi]
+
+		for j := first; j < n; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			if !occupied[j] {
+				// Install the remainder of the row as R row j.
+				rj := make([]float64, n-j)
+				copy(rj, row[j:])
+				rmat[j] = rj
+				d[j] = beta
+				occupied[j] = true
+				break
+			}
+			// Givens rotation zeroing row[j] against R[j][j].
+			rj := rmat[j]
+			a, b := rj[0], row[j]
+			rad := math.Hypot(a, b)
+			c, s := a/rad, b/rad
+			for k := j; k < n; k++ {
+				rk, xk := rj[k-j], row[k]
+				rj[k-j] = c*rk + s*xk
+				row[k] = -s*rk + c*xk
+			}
+			d[j], beta = c*d[j]+s*beta, -s*d[j]+c*beta
+		}
+	}
+
+	// Rank check + back substitution.
+	for j := 0; j < n; j++ {
+		if !occupied[j] || math.Abs(rmat[j][0]) < 1e-12 {
+			return nil, fmt.Errorf("%w: zero pivot at state %d in QR", ErrUnobservable, j)
+		}
+	}
+	dx := make([]float64, n)
+	for j := n - 1; j >= 0; j-- {
+		sum := d[j]
+		rj := rmat[j]
+		for k := j + 1; k < n; k++ {
+			sum -= rj[k-j] * dx[k]
+		}
+		dx[j] = sum / rj[0]
+	}
+	return dx, nil
+}

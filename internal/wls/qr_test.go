@@ -1,0 +1,142 @@
+package wls
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/sparse"
+)
+
+func TestQRMatchesPCGOnCase30(t *testing.T) {
+	n := grid.Case30()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 31)
+	pcg, err := Estimate(mod, Options{Solver: PCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := Estimate(mod, Options{Solver: QR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pcg.X {
+		if math.Abs(pcg.X[i]-qr.X[i]) > 1e-6 {
+			t.Fatalf("x[%d]: PCG %v vs QR %v", i, pcg.X[i], qr.X[i])
+		}
+	}
+	if qr.CGIterations != 0 {
+		t.Error("QR path reported CG iterations")
+	}
+}
+
+func TestQREstimatesCase118(t *testing.T) {
+	n := grid.Case118()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 37)
+	res, err := Estimate(mod, Options{Solver: QR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvm, dva := maxStateError(res.State, truth)
+	if dvm > 0.01 || dva > 0.01 {
+		t.Fatalf("QR estimate error Vm=%g Va=%g", dvm, dva)
+	}
+}
+
+func TestQRDetectsUnobservable(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	var ms []meas.Measurement
+	for _, b := range n.Buses {
+		ms = append(ms, meas.Measurement{Kind: meas.Vmag, Bus: b.ID, Sigma: 0.004, Value: 1})
+	}
+	ref := n.SlackIndex()
+	mod, err := meas.NewModel(n, ms, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Estimate(mod, Options{Solver: QR}); !errors.Is(err, ErrUnobservable) {
+		t.Fatalf("err = %v, want ErrUnobservable", err)
+	}
+}
+
+// TestQRBetterConditionedThanNormalEquations builds a least-squares
+// problem with a tiny-sigma (huge-weight) measurement where squaring the
+// condition number hurts the normal equations; QR must still solve it.
+func TestQRHandlesExtremeWeights(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	ms, err := meas.Simulate(n, meas.FullPlan().Build(n), truth, 0, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One nearly-exact PMU-grade measurement: weight 1e12 vs 1e4.
+	ms[0].Sigma = 1e-6
+	ref := n.SlackIndex()
+	mod, err := meas.NewModel(n, ms, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(mod, Options{Solver: QR})
+	if err != nil {
+		t.Fatalf("QR with extreme weights: %v", err)
+	}
+	dvm, _ := maxStateError(res.State, truth)
+	if dvm > 1e-5 {
+		t.Fatalf("error %g with noiseless measurements", dvm)
+	}
+}
+
+// Property: for random over-determined consistent systems, the Givens
+// triangularization solves A·x = b exactly (residual 0 ⇒ x recovered).
+func TestSolveQRQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		m := n + 3 + rng.Intn(20)
+		coo := sparse.NewCOO(m, n)
+		for i := 0; i < m; i++ {
+			coo.Add(i, rng.Intn(n), 1+rng.Float64())
+			coo.Add(i, rng.Intn(n), rng.NormFloat64())
+			coo.Add(i, i%n, 0.5+rng.Float64()) // every column touched
+		}
+		a := coo.ToCSR()
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		a.MulVec(b, xTrue)
+		w := make([]float64, m)
+		for i := range w {
+			w[i] = 0.5 + rng.Float64()
+		}
+		x, err := solveQR(a, w, b)
+		if err != nil {
+			return false
+		}
+		for i := range xTrue {
+			if math.Abs(x[i]-xTrue[i]) > 1e-7*(1+math.Abs(xTrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveQRUnderdetermined(t *testing.T) {
+	coo := sparse.NewCOO(2, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1)
+	if _, err := solveQR(coo.ToCSR(), []float64{1, 1}, []float64{1, 1}); !errors.Is(err, ErrUnobservable) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package wls
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/meas"
+	"repro/internal/sparse"
+)
+
+// RobustOptions configures the Huber M-estimator.
+type RobustOptions struct {
+	// K is the Huber threshold in standardized-residual units; residuals
+	// beyond K·σ get linear (down-weighted) loss. Zero selects 1.5.
+	K float64
+	// Inner configures the inner (re-weighted) WLS machinery.
+	Inner Options
+	// MaxReweights caps the IRLS outer iterations. Zero selects 15.
+	MaxReweights int
+	// Tol is the convergence tolerance on the state between reweighting
+	// rounds. Zero selects 1e-6.
+	Tol float64
+}
+
+// RobustResult reports a Huber M-estimation run.
+type RobustResult struct {
+	*Result
+	// Reweights is the number of IRLS rounds performed.
+	Reweights int
+	// Downweighted lists measurements whose final Huber weight fell below
+	// 1 (i.e. residual beyond K sigma) — the suspected outliers.
+	Downweighted []int
+}
+
+// ErrRobustNotConverged reports that IRLS hit its iteration cap.
+var ErrRobustNotConverged = errors.New("wls: robust estimator did not converge")
+
+// EstimateRobust runs the Huber M-estimator by iteratively re-weighted
+// least squares: solve WLS, standardize residuals, down-weight those
+// beyond K sigma (w ← w·K/|r/σ|), and repeat until the state settles.
+// Unlike the detection–identification cycle, gross errors are suppressed
+// without removing measurements.
+func EstimateRobust(mod *meas.Model, opts RobustOptions) (*RobustResult, error) {
+	k := opts.K
+	if k <= 0 {
+		k = 1.5
+	}
+	maxRounds := opts.MaxReweights
+	if maxRounds <= 0 {
+		maxRounds = 15
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+
+	// Huber scaling factors per measurement, starting at 1 (plain WLS).
+	scale := make([]float64, mod.NMeas())
+	for i := range scale {
+		scale[i] = 1
+	}
+
+	var prev []float64
+	out := &RobustResult{}
+	for round := 0; round < maxRounds; round++ {
+		res, err := estimateWeighted(mod, opts.Inner, scale)
+		if err != nil {
+			return nil, fmt.Errorf("wls: robust round %d: %w", round, err)
+		}
+		out.Result = res
+		out.Reweights = round + 1
+
+		if prev != nil {
+			maxDelta := 0.0
+			for i := range res.X {
+				if d := math.Abs(res.X[i] - prev[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			if maxDelta < tol {
+				break
+			}
+		}
+		prev = sparse.CopyVec(res.X)
+
+		// Re-weight: Huber psi-function weights on standardized residuals.
+		for i, m := range mod.Meas {
+			u := math.Abs(res.Residuals[i]) / m.Sigma
+			if u <= k {
+				scale[i] = 1
+			} else {
+				scale[i] = k / u
+			}
+		}
+	}
+	if out.Result == nil {
+		return nil, ErrRobustNotConverged
+	}
+	for i, s := range scale {
+		if s < 1 {
+			out.Downweighted = append(out.Downweighted, i)
+		}
+	}
+	return out, nil
+}
+
+// estimateWeighted is the Gauss–Newton core shared by Estimate and the
+// robust estimator: per-measurement weight scaling (nil = all ones) is
+// applied on top of the 1/σ² base weights.
+func estimateWeighted(mod *meas.Model, opts Options, scale []float64) (*Result, error) {
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	cgTol := opts.CGTol
+	if cgTol <= 0 {
+		cgTol = 1e-10
+	}
+	if mod.NMeas() < mod.NState() {
+		return nil, fmt.Errorf("%w: %d measurements < %d states", ErrUnobservable, mod.NMeas(), mod.NState())
+	}
+
+	x := mod.FlatVec()
+	if opts.X0 != nil {
+		if len(opts.X0) != mod.NState() {
+			return nil, fmt.Errorf("wls: warm start length %d != state dim %d", len(opts.X0), mod.NState())
+		}
+		copy(x, opts.X0)
+	}
+	w := mod.Weights()
+	if scale != nil {
+		for i := range w {
+			w[i] *= scale[i]
+		}
+	}
+	z := make([]float64, mod.NMeas())
+	for i, m := range mod.Meas {
+		z[i] = m.Value
+	}
+
+	res := &Result{}
+	r := make([]float64, mod.NMeas())
+	for iter := 0; iter < maxIter; iter++ {
+		h := mod.Eval(x)
+		sparse.Sub(r, z, h)
+		hj := mod.Jacobian(x)
+
+		var dx []float64
+		var cgIters int
+		var err error
+		if opts.Solver == QR {
+			dx, err = solveQR(hj, w, r)
+		} else {
+			g := sparse.Gain(hj, w)
+			rhs := sparse.GainRHS(hj, w, r)
+			dx, cgIters, err = solveGain(g, rhs, opts, cgTol)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.CGIterations += cgIters
+		sparse.Axpy(1, dx, x)
+		res.Iterations = iter + 1
+		if sparse.NormInf(dx) < tol {
+			res.Converged = true
+			break
+		}
+	}
+	h := mod.Eval(x)
+	sparse.Sub(r, z, h)
+	res.X = x
+	res.State = mod.VecToState(x)
+	res.Residuals = r
+	for i := range r {
+		res.ObjectiveJ += w[i] * r[i] * r[i]
+	}
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d iterations", ErrNotConverged, res.Iterations)
+	}
+	return res, nil
+}

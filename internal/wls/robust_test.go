@@ -1,0 +1,116 @@
+package wls
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+)
+
+func TestRobustMatchesWLSOnCleanData(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 61)
+	wlsRes, err := Estimate(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob, err := EstimateRobust(mod, RobustOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With K=3 and clean Gaussian data the Huber estimate ~= WLS.
+	for i := range wlsRes.X {
+		if math.Abs(wlsRes.X[i]-rob.X[i]) > 1e-3 {
+			t.Fatalf("x[%d]: WLS %v vs Huber %v", i, wlsRes.X[i], rob.X[i])
+		}
+	}
+}
+
+func TestRobustSuppressesGrossError(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 67)
+	const corrupt = 40
+	bad, err := meas.InjectBadData(mod.Meas, corrupt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := n.SlackIndex()
+	badMod, err := meas.NewModel(n, bad, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wlsRes, err := Estimate(badMod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob, err := EstimateRobust(badMod, RobustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlsVm, _ := maxStateError(wlsRes.State, truth)
+	robVm, _ := maxStateError(rob.State, truth)
+	if robVm >= wlsVm {
+		t.Errorf("Huber error %g not better than WLS %g under a 30-sigma gross error", robVm, wlsVm)
+	}
+	// The corrupted measurement must be among the down-weighted ones.
+	found := false
+	for _, i := range rob.Downweighted {
+		if i == corrupt {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corrupted measurement %d not down-weighted (got %v)", corrupt, rob.Downweighted)
+	}
+	if rob.Reweights < 2 {
+		t.Errorf("expected multiple IRLS rounds, got %d", rob.Reweights)
+	}
+}
+
+func TestRobustMultipleGrossErrors(t *testing.T) {
+	n := grid.Case118()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 71)
+	ms := mod.Meas
+	for _, idx := range []int{10, 200, 400} {
+		var err error
+		ms, err = meas.InjectBadData(ms, idx, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := n.SlackIndex()
+	badMod, err := meas.NewModel(n, ms, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob, err := EstimateRobust(badMod, RobustOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvm, _ := maxStateError(rob.State, truth)
+	if dvm > 0.02 {
+		t.Errorf("Huber error %g with 3 gross errors", dvm)
+	}
+	if len(rob.Downweighted) < 3 {
+		t.Errorf("only %d measurements down-weighted", len(rob.Downweighted))
+	}
+}
+
+func TestRobustWithQRInner(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 73)
+	rob, err := EstimateRobust(mod, RobustOptions{Inner: Options{Solver: QR}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvm, _ := maxStateError(rob.State, truth)
+	if dvm > 0.01 {
+		t.Errorf("error %g", dvm)
+	}
+}
