@@ -6,6 +6,7 @@
 package gridse_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -89,7 +90,7 @@ func BenchmarkTable3MediciLocal(b *testing.B) {
 		b.Run(sizeName(sz), func(b *testing.B) {
 			var last medici.OverheadSample
 			for i := 0; i < b.N; i++ {
-				s, err := medici.MeasureOverhead(nil, sz, 0)
+				s, err := medici.MeasureOverhead(context.Background(), nil, sz, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -109,7 +110,7 @@ func BenchmarkTable4MediciRemote(b *testing.B) {
 		b.Run(sizeName(sz), func(b *testing.B) {
 			var last medici.OverheadSample
 			for i := 0; i < b.N; i++ {
-				s, err := medici.MeasureOverhead(tr, sz, 0)
+				s, err := medici.MeasureOverhead(context.Background(), tr, sz, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -182,11 +183,11 @@ func BenchmarkFig8OverheadLinearity(b *testing.B) {
 	var small, large medici.OverheadSample
 	for i := 0; i < b.N; i++ {
 		var err error
-		small, err = medici.MeasureOverhead(nil, 2<<20, 0)
+		small, err = medici.MeasureOverhead(context.Background(), nil, 2<<20, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		large, err = medici.MeasureOverhead(nil, 16<<20, 0)
+		large, err = medici.MeasureOverhead(context.Background(), nil, 16<<20, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func BenchmarkEndToEndDSE(b *testing.B) {
 	var e experiments.EndToEnd
 	var err error
 	for i := 0; i < b.N; i++ {
-		e, err = experiments.RunEndToEnd(fx, 3)
+		e, err = experiments.RunEndToEnd(context.Background(), fx, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,7 +234,7 @@ func BenchmarkEndToEndDSE(b *testing.B) {
 func BenchmarkCentralizedWLS118(b *testing.B) {
 	fx := benchFixture(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{}); err != nil {
+		if _, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas, wls.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -268,7 +269,7 @@ func BenchmarkAblationPreconditioner(b *testing.B) {
 		b.Run(p.name, func(b *testing.B) {
 			var cg int
 			for i := 0; i < b.N; i++ {
-				res, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{Precond: p.kind})
+				res, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas, wls.Options{Precond: p.kind})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -290,7 +291,7 @@ func BenchmarkAblationSolver(b *testing.B) {
 	}{{"pcg", wls.PCG}, {"dense", wls.Dense}, {"qr", wls.QR}} {
 		b.Run(s.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{Solver: s.kind}); err != nil {
+				if _, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas, wls.Options{Solver: s.kind}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -305,7 +306,7 @@ func BenchmarkAblationWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run("workers-"+itoa(w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{Workers: w}); err != nil {
+				if _, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas, wls.Options{Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -325,7 +326,7 @@ func BenchmarkAblationMapping(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var imb float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunDistributed(fx.Dec, fx.Meas, core.DistributedOptions{
+				res, err := core.RunDistributed(context.Background(), fx.Dec, fx.Meas, core.DistributedOptions{
 					Clusters: 3, NoMapping: mode.noMapping,
 				})
 				if err != nil {
@@ -360,7 +361,7 @@ func BenchmarkAblationSensitivity(b *testing.B) {
 			}
 			var bytes int
 			for i := 0; i < b.N; i++ {
-				res, err := core.RunDSE(dec, ms, core.DSEOptions{})
+				res, err := core.RunDSE(context.Background(), dec, ms, core.DSEOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -390,7 +391,7 @@ func BenchmarkAblationSiteScheduling(b *testing.B) {
 	defer tb.Close()
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			for _, r := range tb.Sites[0].RunJobs(jobs) {
+			for _, r := range tb.Sites[0].RunJobs(context.Background(), jobs) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -399,7 +400,7 @@ func BenchmarkAblationSiteScheduling(b *testing.B) {
 	})
 	b.Run("concurrent", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			for _, r := range tb.Sites[0].RunJobsConcurrent(jobs) {
+			for _, r := range tb.Sites[0].RunJobsConcurrent(context.Background(), jobs) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
@@ -415,7 +416,7 @@ func BenchmarkRoundsStudy(b *testing.B) {
 	var pts []experiments.RoundsPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		pts, err = experiments.RunRoundsStudy(fx)
+		pts, err = experiments.RunRoundsStudy(context.Background(), fx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -449,7 +450,7 @@ func BenchmarkWECCScaleDSE(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.RunDSE(dec, ms, core.DSEOptions{}); err != nil {
+				if _, err := core.RunDSE(context.Background(), dec, ms, core.DSEOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}

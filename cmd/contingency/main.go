@@ -4,10 +4,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	gridse "repro"
@@ -27,6 +31,10 @@ func main() {
 		top       = flag.Int("top", 5, "worst violations to print")
 	)
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) or SIGTERM cancels the screen cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var net *gridse.Network
 	var err error
@@ -48,7 +56,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := gridse.Estimate(net, ms)
+		est, err := gridse.EstimateContext(ctx, net, ms, gridse.EstimatorOptions{})
 		if err != nil {
 			log.Fatalf("estimate: %v", err)
 		}

@@ -5,10 +5,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	gridse "repro"
@@ -30,6 +34,10 @@ func main() {
 		refine     = flag.Bool("refine", false, "with -hierarchical: coordinator re-estimates the boundary system")
 	)
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) or SIGTERM cancels the run cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	net, err := gridse.CaseByName(*caseName)
 	if err != nil {
@@ -55,7 +63,7 @@ func main() {
 
 	var state gridse.State
 	if *hier {
-		res, err := gridse.RunHierarchical(dec, ms, gridse.DistributedOptions{
+		res, err := gridse.RunHierarchical(ctx, dec, ms, gridse.DistributedOptions{
 			Clusters:           *clusters,
 			HierarchicalRefine: *refine,
 		})
@@ -66,7 +74,7 @@ func main() {
 			res.Duration.Round(time.Microsecond), res.CoordinatorBytes, *refine)
 		state = res.State
 	} else if *inproc {
-		res, err := gridse.RunDSE(dec, ms, gridse.DSEOptions{Rounds: *rounds})
+		res, err := gridse.RunDSE(ctx, dec, ms, gridse.DSEOptions{Rounds: *rounds})
 		if err != nil {
 			log.Fatalf("dse: %v", err)
 		}
@@ -84,7 +92,7 @@ func main() {
 		if *shaped {
 			opts.Transport = cluster.NewShapedTransport(cluster.LabNetworkProfile(), nil)
 		}
-		res, err := gridse.RunDistributed(dec, ms, opts)
+		res, err := gridse.RunDistributed(ctx, dec, ms, opts)
 		if err != nil {
 			log.Fatalf("distributed dse: %v", err)
 		}

@@ -4,10 +4,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
+	"syscall"
 
 	gridse "repro"
 	"repro/internal/wls"
@@ -26,6 +30,10 @@ func main() {
 		robust   = flag.Bool("robust", false, "use the Huber M-estimator")
 	)
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) or SIGTERM cancels the solve cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	net, err := gridse.CaseByName(*caseName)
 	if err != nil {
@@ -92,7 +100,7 @@ func main() {
 		res = rob.Result
 	} else {
 		var err error
-		res, err = gridse.EstimateWith(net, ms, opts)
+		res, err = gridse.EstimateContext(ctx, net, ms, opts)
 		if err != nil {
 			log.Fatalf("estimate: %v", err)
 		}

@@ -6,10 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -24,6 +27,10 @@ func main() {
 		full = flag.Bool("full", false, "use the paper's full 100MB-2GB transfer sweep")
 	)
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) or SIGTERM cancels the running experiment cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sizes := experiments.DefaultSizes()
 	if *full || os.Getenv("GRIDSE_FULL_SIZES") == "1" {
@@ -83,7 +90,7 @@ func main() {
 	})
 
 	run("table3", func() error {
-		rows, err := experiments.RunTable3(sizes)
+		rows, err := experiments.RunTable3(ctx, sizes)
 		if err != nil {
 			return err
 		}
@@ -93,7 +100,7 @@ func main() {
 	})
 
 	run("table4", func() error {
-		rows, err := experiments.RunTable4(sizes)
+		rows, err := experiments.RunTable4(ctx, sizes)
 		if err != nil {
 			return err
 		}
@@ -145,11 +152,11 @@ func main() {
 	})
 
 	run("fig8", func() error {
-		local, err := experiments.RunTable3(sizes)
+		local, err := experiments.RunTable3(ctx, sizes)
 		if err != nil {
 			return err
 		}
-		remote, err := experiments.RunTable4(sizes)
+		remote, err := experiments.RunTable4(ctx, sizes)
 		if err != nil {
 			return err
 		}
@@ -179,7 +186,7 @@ func main() {
 	})
 
 	run("rounds", func() error {
-		pts, err := experiments.RunRoundsStudy(fx)
+		pts, err := experiments.RunRoundsStudy(ctx, fx)
 		if err != nil {
 			return err
 		}
@@ -192,7 +199,7 @@ func main() {
 	})
 
 	run("e2e", func() error {
-		e, err := experiments.RunEndToEnd(fx, *p)
+		e, err := experiments.RunEndToEnd(ctx, fx, *p)
 		if err != nil {
 			return err
 		}

@@ -5,11 +5,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -24,6 +28,10 @@ func main() {
 		repeats   = flag.Int("repeats", 1, "measurements per size (best run is reported)")
 	)
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) or SIGTERM cancels the sweep cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
@@ -48,7 +56,7 @@ func main() {
 	for _, sz := range sizes {
 		best := medici.OverheadSample{}
 		for r := 0; r < *repeats; r++ {
-			s, err := medici.MeasureOverhead(tr, sz, delay)
+			s, err := medici.MeasureOverhead(ctx, tr, sz, delay)
 			if err != nil {
 				log.Fatalf("size %d: %v", sz, err)
 			}

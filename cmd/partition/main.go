@@ -12,12 +12,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	gridse "repro"
 )
@@ -31,6 +34,10 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupt (Ctrl-C) or SIGTERM aborts before partitioning starts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var g *gridse.Graph
 	var err error
 	if *file != "" {
@@ -43,6 +50,9 @@ func main() {
 		fmt.Println("using the paper's 9-subsystem IEEE-118 decomposition graph (Table I weights)")
 	}
 
+	if err := ctx.Err(); err != nil {
+		log.Fatal(err)
+	}
 	res, err := gridse.KWay(g, *k, gridse.PartitionOptions{Seed: *seed, ImbalanceTol: *tol})
 	if err != nil {
 		log.Fatalf("partition: %v", err)

@@ -3,11 +3,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	gridse "repro"
 )
@@ -20,8 +23,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupt (Ctrl-C) or SIGTERM aborts before the solve starts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	net, err := loadNet(*caseName, *file)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.Err(); err != nil {
 		log.Fatal(err)
 	}
 	res, err := gridse.SolvePowerFlow(net)

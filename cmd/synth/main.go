@@ -4,10 +4,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	gridse "repro"
 )
@@ -22,9 +25,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupt (Ctrl-C) or SIGTERM aborts between generation and verify.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	net, err := gridse.SynthWECC(gridse.SynthOptions{Areas: *areas, TiesPerArea: *ties, Seed: *seed})
 	if err != nil {
 		log.Fatalf("synthesize: %v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		log.Fatal(err)
 	}
 	if *verify {
 		res, err := gridse.SolvePowerFlow(net)

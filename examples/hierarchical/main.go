@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,11 +40,11 @@ func main() {
 		log.Fatalf("simulate: %v", err)
 	}
 
-	hier, err := gridse.RunHierarchical(dec, ms, gridse.DistributedOptions{Clusters: *clusters})
+	hier, err := gridse.RunHierarchical(context.Background(), dec, ms, gridse.DistributedOptions{Clusters: *clusters})
 	if err != nil {
 		log.Fatalf("hierarchical: %v", err)
 	}
-	dse, err := gridse.RunDSE(dec, ms, gridse.DSEOptions{})
+	dse, err := gridse.RunDSE(context.Background(), dec, ms, gridse.DSEOptions{})
 	if err != nil {
 		log.Fatalf("dse: %v", err)
 	}

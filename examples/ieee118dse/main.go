@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -50,7 +51,7 @@ func main() {
 
 	// Full architecture run: map -> step 1 -> remap -> redistribute ->
 	// exchange via middleware -> step 2 -> aggregate.
-	res, err := gridse.RunDistributed(dec, ms, gridse.DistributedOptions{Clusters: *clusters})
+	res, err := gridse.RunDistributed(context.Background(), dec, ms, gridse.DistributedOptions{Clusters: *clusters})
 	if err != nil {
 		log.Fatalf("distributed DSE: %v", err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -81,7 +82,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := pub.Publish(topic, payload); err != nil {
+		if err := pub.Publish(context.Background(), topic, payload); err != nil {
 			log.Fatalf("publish: %v", err)
 		}
 		// Pace at ~10x real time so the run finishes quickly but the

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,7 +62,7 @@ func main() {
 
 	// Distributed: one estimator per balancing authority.
 	start = time.Now()
-	dse, err := gridse.RunDSE(dec, ms, gridse.DSEOptions{})
+	dse, err := gridse.RunDSE(context.Background(), dec, ms, gridse.DSEOptions{})
 	if err != nil {
 		log.Fatalf("dse: %v", err)
 	}

@@ -25,10 +25,16 @@
 //	fmt.Println(est.State.Vm)
 //
 // The full distributed flow is three calls: Decompose, PMUPlanFor (append
-// to the plan before simulation), then RunDSE or RunDistributed.
+// to the plan before simulation), then RunDSE or RunDistributed — both
+// context-first:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+//	defer cancel()
+//	res, err := gridse.RunDSE(ctx, dec, ms, gridse.DSEOptions{})
 package gridse
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -173,12 +179,20 @@ const (
 // Estimate runs centralized WLS state estimation with default options,
 // using a PMU angle measurement at the slack (if present) as the reference.
 func Estimate(n *Network, ms []Measurement) (*EstimatorResult, error) {
-	return core.CentralizedEstimate(n, ms, wls.Options{})
+	return core.CentralizedEstimate(context.Background(), n, ms, wls.Options{})
 }
 
 // EstimateWith runs centralized WLS estimation with explicit options.
 func EstimateWith(n *Network, ms []Measurement, opts EstimatorOptions) (*EstimatorResult, error) {
-	return core.CentralizedEstimate(n, ms, opts)
+	return core.CentralizedEstimate(context.Background(), n, ms, opts)
+}
+
+// EstimateContext runs centralized WLS estimation under a context: an
+// expired or canceled ctx aborts the solve between Gauss-Newton
+// iterations. RunDSE, RunDistributed and RunHierarchical likewise take a
+// context as their first argument.
+func EstimateContext(ctx context.Context, n *Network, ms []Measurement, opts EstimatorOptions) (*EstimatorResult, error) {
+	return core.CentralizedEstimate(ctx, n, ms, opts)
 }
 
 // EstimateRobust runs the Huber M-estimator (gross errors suppressed by
@@ -272,15 +286,25 @@ var DecomposeWithParts = core.DecomposeWithParts
 // PMUPlanFor returns the PMU measurements DSE needs at reference buses.
 var PMUPlanFor = core.PMUPlanFor
 
-// RunDSE executes the two-step DSE algorithm in-process.
-var RunDSE = core.RunDSE
+// RunDSE executes the two-step DSE algorithm in-process. The context is
+// the first argument; cancellation aborts in-flight subsystem solves.
+func RunDSE(ctx context.Context, d *Decomposition, ms []Measurement, opts DSEOptions) (*DSEResult, error) {
+	return core.RunDSE(ctx, d, ms, opts)
+}
 
 // RunDistributed executes the full architecture on a simulated testbed
-// (sites, middleware, mapping, redistribution).
-var RunDistributed = core.RunDistributed
+// (sites, middleware, mapping, redistribution). The context governs the
+// whole run; DistributedOptions.PhaseTimeout / TotalTimeout derive
+// per-phase and overall deadlines from it.
+func RunDistributed(ctx context.Context, d *Decomposition, ms []Measurement, opts DistributedOptions) (*DistributedResult, error) {
+	return core.RunDistributed(ctx, d, ms, opts)
+}
 
-// RunHierarchical executes the coordinator-based hierarchical variant.
-var RunHierarchical = core.RunHierarchical
+// RunHierarchical executes the coordinator-based hierarchical variant
+// under the given context.
+func RunHierarchical(ctx context.Context, d *Decomposition, ms []Measurement, opts DistributedOptions) (*HierarchicalResult, error) {
+	return core.RunHierarchical(ctx, d, ms, opts)
+}
 
 // Tracker runs DSE over successive measurement frames with warm starts.
 type Tracker = core.Tracker

@@ -2,6 +2,7 @@ package gridse_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestFacadeDSEFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := gridse.RunDSE(dec, ms, gridse.DSEOptions{})
+	res, err := gridse.RunDSE(context.Background(), dec, ms, gridse.DSEOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -29,10 +30,10 @@ func TestShapedLinkBandwidth(t *testing.T) {
 
 	payload := bytes.Repeat([]byte{1}, 1<<20)
 	start := time.Now()
-	if err := src.Send("dst", payload); err != nil {
+	if err := src.Send(context.Background(), "dst", payload); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dst.Recv(); err != nil {
+	if _, err := dst.Recv(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -59,10 +60,10 @@ func TestShapedLinkLatency(t *testing.T) {
 	defer src.Close()
 
 	start := time.Now()
-	if err := src.Send("dst", []byte("ping")); err != nil {
+	if err := src.Send(context.Background(), "dst", []byte("ping")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dst.Recv(); err != nil {
+	if _, err := dst.Recv(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
@@ -121,10 +122,10 @@ func TestTestbedSitesAndJobs(t *testing.T) {
 		t.Fatalf("site names %s, %s", tb.Sites[0].Name, tb.Sites[2].Name)
 	}
 	// Sites can message each other by name.
-	if err := tb.Sites[0].Client().Send("Chinook", []byte("hello")); err != nil {
+	if err := tb.Sites[0].Client().Send(context.Background(), "Chinook", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	msg, err := tb.Sites[2].Client().Recv()
+	msg, err := tb.Sites[2].Client().Recv(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,10 +147,10 @@ func TestTestbedSitesAndJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, run := range []func([]EstimationJob) []JobResult{
+	for _, run := range []func(context.Context, []EstimationJob) []JobResult{
 		tb.Sites[0].RunJobs, tb.Sites[0].RunJobsConcurrent,
 	} {
-		results := run([]EstimationJob{{ID: 7, Model: mod, Opts: wls.Options{}}})
+		results := run(context.Background(), []EstimationJob{{ID: 7, Model: mod, Opts: wls.Options{}}})
 		if len(results) != 1 || results[0].Err != nil {
 			t.Fatalf("job results: %+v", results)
 		}

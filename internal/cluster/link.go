@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -58,6 +59,16 @@ func (t *ShapedTransport) Dial(addr string) (net.Conn, error) {
 	return newShapedConn(c, t.Profile), nil
 }
 
+// DialContext implements medici.Transport: the dial is bounded by ctx and
+// the resulting connection's pacing delays abort when ctx is canceled.
+func (t *ShapedTransport) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	c, err := t.inner.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return newShapedConn(c, t.Profile), nil
+}
+
 // Listen implements medici.Transport. Accepted connections are shaped on
 // their write side, so both directions of a shaped link pay the cost.
 func (t *ShapedTransport) Listen(addr string) (net.Listener, error) {
@@ -89,6 +100,11 @@ type shapedConn struct {
 	net.Conn
 	profile LinkProfile
 
+	// done is closed by Close so pacing sleeps abort instead of holding a
+	// canceled transfer for the full serialization delay.
+	done      chan struct{}
+	closeOnce sync.Once
+
 	mu       sync.Mutex
 	started  bool
 	nextFree time.Time
@@ -98,7 +114,7 @@ func newShapedConn(c net.Conn, p LinkProfile) net.Conn {
 	if p.Bandwidth <= 0 && p.Latency <= 0 {
 		return c
 	}
-	return &shapedConn{Conn: c, profile: p}
+	return &shapedConn{Conn: c, profile: p, done: make(chan struct{})}
 }
 
 func (c *shapedConn) Write(b []byte) (int, error) {
@@ -118,9 +134,22 @@ func (c *shapedConn) Write(b []byte) (int, error) {
 	wait := time.Until(c.nextFree)
 	c.mu.Unlock()
 	if wait > 0 {
-		time.Sleep(wait)
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-c.done:
+			t.Stop()
+			return 0, net.ErrClosed
+		}
 	}
 	return c.Conn.Write(b)
+}
+
+// Close aborts any in-flight pacing delay and closes the underlying
+// connection.
+func (c *shapedConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.Conn.Close()
 }
 
 // String describes the profile.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -62,13 +63,18 @@ type JobResult struct {
 // RunJobs executes the site's assigned estimations. Jobs run sequentially
 // (one subsystem estimation at a time, as on a space-shared cluster
 // allocation) but each estimation's linear algebra is parallelized across
-// the site's workers.
-func (s *Site) RunJobs(jobs []EstimationJob) []JobResult {
+// the site's workers. Cancellation is checked before each job and between
+// the solver's Gauss-Newton iterations; canceled jobs report ctx.Err().
+func (s *Site) RunJobs(ctx context.Context, jobs []EstimationJob) []JobResult {
 	out := make([]JobResult, len(jobs))
 	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			out[i] = JobResult{ID: j.ID, Err: err}
+			continue
+		}
 		opts := j.Opts
 		opts.Workers = s.Workers
-		res, err := wls.Estimate(j.Model, opts)
+		res, err := wls.EstimateCtx(ctx, j.Model, opts)
 		out[i] = JobResult{ID: j.ID, Result: res, Err: err}
 	}
 	return out
@@ -76,17 +82,22 @@ func (s *Site) RunJobs(jobs []EstimationJob) []JobResult {
 
 // RunJobsConcurrent executes the jobs with one goroutine per job — the
 // gang-scheduled alternative, used by the ablation benchmarks to compare
-// scheduling strategies on a site.
-func (s *Site) RunJobsConcurrent(jobs []EstimationJob) []JobResult {
+// scheduling strategies on a site. Cancellation aborts every in-flight
+// job at its next Gauss-Newton iteration.
+func (s *Site) RunJobsConcurrent(ctx context.Context, jobs []EstimationJob) []JobResult {
 	out := make([]JobResult, len(jobs))
 	var wg sync.WaitGroup
 	for i, j := range jobs {
 		wg.Add(1)
 		go func(i int, j EstimationJob) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				out[i] = JobResult{ID: j.ID, Err: err}
+				return
+			}
 			opts := j.Opts
 			opts.Workers = 1 // all parallelism spent across jobs
-			res, err := wls.Estimate(j.Model, opts)
+			res, err := wls.EstimateCtx(ctx, j.Model, opts)
 			out[i] = JobResult{ID: j.ID, Result: res, Err: err}
 		}(i, j)
 	}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/medici"
+	"repro/internal/powerflow"
+)
+
+// weccFixture builds a multi-area synthetic interconnection large enough
+// that DSE Step 1 takes well over 100ms, giving cancellation tests a wide
+// window to land inside the estimation phase.
+func weccFixture(t *testing.T, areas int) *fixture {
+	t.Helper()
+	n, err := grid.SynthWECC(grid.SynthOptions{Areas: areas, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true, MaxIter: 40})
+	if err != nil {
+		t.Fatalf("powerflow: %v", err)
+	}
+	dec, err := DecomposeWithParts(n, areas, grid.AreaParts(n), 1)
+	if err != nil {
+		t.Fatalf("decompose: %v", err)
+	}
+	plan := meas.FullPlan().Build(n)
+	plan = append(plan, PMUPlanFor(dec, plan, 0.0005)...)
+	ms, err := meas.Simulate(n, plan, pf.State, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{net: n, truth: pf.State, dec: dec, ms: ms}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base (plus a small allowance for runtime background goroutines) or the
+// deadline passes, returning the final count.
+func waitGoroutines(base int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunDistributedCancelMidStep1: canceling the run context while the
+// sites are grinding through Step 1 must abort the Gauss-Newton loops,
+// return a wrapped context.Canceled within a second of the cancellation,
+// and leave no goroutines behind.
+func TestRunDistributedCancelMidStep1(t *testing.T) {
+	fx := weccFixture(t, 9)
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var canceledAt time.Time
+	go func() {
+		time.Sleep(50 * time.Millisecond) // acquire takes ~4ms, Step 1 >100ms
+		canceledAt = time.Now()
+		cancel()
+	}()
+
+	_, err := RunDistributed(ctx, fx.dec, fx.ms, DistributedOptions{Clusters: 3})
+	returned := time.Now()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if canceledAt.IsZero() {
+		t.Fatal("run finished before the cancel fired; grow the fixture")
+	}
+	if d := returned.Sub(canceledAt); d > time.Second {
+		t.Errorf("returned %v after cancellation, want < 1s", d)
+	}
+	if n := waitGoroutines(base, 5*time.Second); n > base+2 {
+		t.Errorf("goroutines leaked: %d before run, %d after settle", base, n)
+	}
+}
+
+// blackholeConn accepts writes and discards them; reads block until Close.
+type blackholeConn struct {
+	once sync.Once
+	done chan struct{}
+}
+
+func newBlackholeConn() *blackholeConn { return &blackholeConn{done: make(chan struct{})} }
+
+func (c *blackholeConn) Write(p []byte) (int, error) { return len(p), nil }
+func (c *blackholeConn) Read(p []byte) (int, error) {
+	<-c.done
+	return 0, net.ErrClosed
+}
+func (c *blackholeConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+func (c *blackholeConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *blackholeConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *blackholeConn) SetDeadline(time.Time) error      { return nil }
+func (c *blackholeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *blackholeConn) SetWriteDeadline(time.Time) error { return nil }
+
+// dropAfterTransport passes the first `pass` dials through to real TCP and
+// black-holes every later one, silently losing whatever is sent on them.
+type dropAfterTransport struct {
+	inner medici.TCPTransport
+	mu    sync.Mutex
+	pass  int
+}
+
+func (t *dropAfterTransport) take() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pass > 0 {
+		t.pass--
+		return true
+	}
+	return false
+}
+
+func (t *dropAfterTransport) Dial(addr string) (net.Conn, error) {
+	return t.DialContext(context.Background(), addr)
+}
+
+func (t *dropAfterTransport) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	if t.take() {
+		return t.inner.DialContext(ctx, addr)
+	}
+	return newBlackholeConn(), nil
+}
+
+func (t *dropAfterTransport) Listen(addr string) (net.Listener, error) {
+	return t.inner.Listen(addr)
+}
+
+// TestRunDistributedExchangeTimeout: when every inter-site pseudo packet
+// is lost in flight, the exchange phase must give up at its PhaseTimeout
+// with an error naming the phase — not busy-poll forever.
+func TestRunDistributedExchangeTimeout(t *testing.T) {
+	fx := newFixture(t, grid.Case30, 3, 1)
+	// The only real dials before the exchange are the 3 acquire fetches
+	// (NoMapping on 3 clusters migrates nothing); every exchange send then
+	// lands on a black-hole connection and its envelope is lost.
+	tr := &dropAfterTransport{pass: 3}
+	start := time.Now()
+	_, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{
+		Clusters:     3,
+		NoMapping:    true,
+		Transport:    tr,
+		PhaseTimeout: 300 * time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "exchange") {
+		t.Errorf("error does not name the stuck phase: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("run took %v with a 300ms phase timeout", elapsed)
+	}
+}
+
+// TestRunDSECancelPropagates: RunDSE (the in-process flow) also honors
+// cancellation between Gauss-Newton iterations.
+func TestRunDSECancelPropagates(t *testing.T) {
+	fx := weccFixture(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := RunDSE(ctx, fx.dec, fx.ms, DSEOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -70,7 +72,11 @@ type DSEResult struct {
 // goroutine per estimator) unless opts.Sequential. The global measurement
 // set must contain a PMU angle measurement at every subsystem's reference
 // bus (see PMUPlanFor).
-func RunDSE(d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSEResult, error) {
+//
+// The context governs the whole run: cancellation is checked between
+// Step-2 rounds and inside every subsystem's Gauss-Newton loop, and the
+// first subsystem error cancels its siblings (fail-fast).
+func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSEResult, error) {
 	m := len(d.Subsystems)
 	rounds := opts.Rounds
 	if rounds <= 0 {
@@ -84,7 +90,7 @@ func RunDSE(d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSER
 	// DSE Step 1: local estimation per subsystem.
 	probs1 := make([]*Subproblem, m)
 	start := time.Now()
-	err := forEachSubsystem(m, opts.Sequential, func(si int) error {
+	err := forEachSubsystem(ctx, m, opts.Sequential, func(ctx context.Context, si int) error {
 		sp, err := d.BuildStep1(si, global)
 		if err != nil {
 			return err
@@ -98,7 +104,7 @@ func RunDSE(d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSER
 		if opts.WarmStart != nil && si < len(opts.WarmStart) && opts.WarmStart[si] != nil {
 			wlsOpts.X0 = opts.WarmStart[si]
 		}
-		r, err := wls.Estimate(sp.Model, wlsOpts)
+		r, err := wls.EstimateCtx(ctx, sp.Model, wlsOpts)
 		if err != nil {
 			return fmt.Errorf("core: step 1 subsystem %d: %w", si, err)
 		}
@@ -121,6 +127,9 @@ func RunDSE(d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSER
 	probs2 := make([]*Subproblem, m)
 	start = time.Now()
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: canceled before step 2 round %d: %w", round, err)
+		}
 		packets := make([]PseudoPacket, m)
 		for si := 0; si < m; si++ {
 			packets[si] = d.ExtractPseudo(si, currentProb[si], current[si])
@@ -139,7 +148,7 @@ func RunDSE(d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSER
 			res.ExchangeBytes += sz * len(nbrs)
 			res.ExchangeMessages += len(nbrs)
 		}
-		err := forEachSubsystem(m, opts.Sequential, func(si int) error {
+		err := forEachSubsystem(ctx, m, opts.Sequential, func(ctx context.Context, si int) error {
 			var incoming []PseudoPacket
 			for _, nb := range d.Neighbors(si) {
 				incoming = append(incoming, packets[nb])
@@ -149,7 +158,7 @@ func RunDSE(d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSER
 				return err
 			}
 			wlsOpts := opts.WLS
-			r, err := wls.Estimate(sp.Model, wlsOpts)
+			r, err := wls.EstimateCtx(ctx, sp.Model, wlsOpts)
 			if err != nil {
 				return fmt.Errorf("core: step 2 subsystem %d: %w", si, err)
 			}
@@ -217,31 +226,39 @@ func restoreSubproblem(sp *Subproblem, sigma float64) error {
 	return sp.ReplaceMeasurements(augmented)
 }
 
-func forEachSubsystem(m int, sequential bool, f func(si int) error) error {
+// forEachSubsystem runs f for every subsystem, concurrently unless
+// sequential. The first error cancels the context handed to every other
+// subsystem (fail-fast); errors collected before the stop are joined.
+func forEachSubsystem(ctx context.Context, m int, sequential bool, f func(ctx context.Context, si int) error) error {
 	if sequential {
 		for si := 0; si < m; si++ {
-			if err := f(si); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, si); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make([]error, m)
 	var wg sync.WaitGroup
 	for si := 0; si < m; si++ {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			errs[si] = f(si)
+			if err := ctx.Err(); err != nil {
+				return // a sibling failed; don't start more work
+			}
+			if errs[si] = f(ctx, si); errs[si] != nil {
+				cancel()
+			}
 		}(si)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func statsOf(results []*wls.Result, d time.Duration) StepStats {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -214,7 +215,7 @@ func TestStep1LocalEstimatesAccurate(t *testing.T) {
 
 func TestRunDSENoiselessMatchesTruth(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 0)
-	res, err := RunDSE(fx.dec, fx.ms, DSEOptions{})
+	res, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{})
 	if err != nil {
 		t.Fatalf("RunDSE: %v", err)
 	}
@@ -236,7 +237,7 @@ func TestRunDSENoiselessMatchesTruth(t *testing.T) {
 
 func TestRunDSEWithNoiseCloseToCentralized(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	dse, err := RunDSE(fx.dec, fx.ms, DSEOptions{})
+	dse, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{})
 	if err != nil {
 		t.Fatalf("RunDSE: %v", err)
 	}
@@ -277,11 +278,11 @@ func TestRunDSEWithNoiseCloseToCentralized(t *testing.T) {
 
 func TestRunDSESequentialMatchesConcurrent(t *testing.T) {
 	fx := newFixture(t, grid.Case30, 3, 1)
-	a, err := RunDSE(fx.dec, fx.ms, DSEOptions{})
+	a, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunDSE(fx.dec, fx.ms, DSEOptions{Sequential: true})
+	b, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{Sequential: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +295,11 @@ func TestRunDSESequentialMatchesConcurrent(t *testing.T) {
 
 func TestRunDSEMultipleRounds(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	r1, err := RunDSE(fx.dec, fx.ms, DSEOptions{Rounds: 1})
+	r1, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{Rounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := RunDSE(fx.dec, fx.ms, DSEOptions{Rounds: fx.dec.Diameter()})
+	rd, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{Rounds: fx.dec.Diameter()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestRunDSERequiresPMUAtRefs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunDSE(dec, ms, DSEOptions{}); err == nil {
+	if _, err := RunDSE(context.Background(), dec, ms, DSEOptions{}); err == nil {
 		t.Fatal("DSE without PMU angle references should fail")
 	}
 }
@@ -419,11 +420,11 @@ func TestRunDSEWithRTUPlan(t *testing.T) {
 	}
 	// Reduced redundancy leaves some subsystem unobservable for this seed;
 	// plain DSE must say so rather than silently guessing...
-	if _, err := RunDSE(dec, ms, DSEOptions{}); err == nil {
+	if _, err := RunDSE(context.Background(), dec, ms, DSEOptions{}); err == nil {
 		t.Log("all subsystems observable at this seed (plain run succeeded)")
 	}
 	// ...and with observability restoration the run completes.
-	res, err := RunDSE(dec, ms, DSEOptions{RestoreObservability: true})
+	res, err := RunDSE(context.Background(), dec, ms, DSEOptions{RestoreObservability: true})
 	if err != nil {
 		t.Fatalf("RunDSE at RTU redundancy with restoration: %v", err)
 	}

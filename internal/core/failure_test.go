@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestRunDSEPropagatesSubsystemFailure(t *testing.T) {
 		}
 		ms = append(ms, m)
 	}
-	_, err := RunDSE(fx.dec, ms, DSEOptions{})
+	_, err := RunDSE(context.Background(), fx.dec, ms, DSEOptions{})
 	if err == nil {
 		t.Fatal("missing reference PMU not reported")
 	}
@@ -60,7 +61,7 @@ func TestRunDSEPropagatesUnobservableSubsystem(t *testing.T) {
 		}
 		ms = append(ms, m)
 	}
-	_, err := RunDSE(fx.dec, ms, DSEOptions{})
+	_, err := RunDSE(context.Background(), fx.dec, ms, DSEOptions{})
 	if err == nil {
 		t.Fatal("unobservable subsystem not reported")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -30,7 +31,11 @@ type HierarchicalResult struct {
 // its subsystems' full solved states to the centralized coordinator, which
 // combines them into the system-wide state. There is no peer-to-peer
 // Step 2; the coordinator is the single aggregation point.
-func RunHierarchical(d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*HierarchicalResult, error) {
+//
+// The context governs the run: cancellation aborts local estimation at
+// the next Gauss-Newton iteration and unblocks the coordinator's receive
+// loop. TotalTimeout (when set) derives an overall deadline from ctx.
+func RunHierarchical(ctx context.Context, d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*HierarchicalResult, error) {
 	p := opts.Clusters
 	if p <= 0 {
 		p = 3
@@ -38,6 +43,11 @@ func RunHierarchical(d *Decomposition, global []meas.Measurement, opts Distribut
 	m := len(d.Subsystems)
 	if p > m {
 		return nil, fmt.Errorf("core: %d clusters for %d subsystems", p, m)
+	}
+	if opts.TotalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TotalTimeout)
+		defer cancel()
 	}
 	start := time.Now()
 
@@ -60,13 +70,13 @@ func RunHierarchical(d *Decomposition, global []meas.Measurement, opts Distribut
 
 	res := &HierarchicalResult{Local: make([]*wls.Result, m)}
 	probs := make([]*Subproblem, m)
-	err = runOnSites(tb, mapping.Assign, func(si int, site *cluster.Site) error {
+	err = runOnSites(ctx, tb, mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		sp, err := d.BuildStep1(si, global)
 		if err != nil {
 			return err
 		}
 		probs[si] = sp
-		out := site.RunJobs([]cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
 		if out[0].Err != nil {
 			return fmt.Errorf("core: hierarchical subsystem %d: %w", si, out[0].Err)
 		}
@@ -86,7 +96,7 @@ func RunHierarchical(d *Decomposition, global []meas.Measurement, opts Distribut
 		if err != nil {
 			return err
 		}
-		return site.Client().SendURL(coord.URL(), payload)
+		return site.Client().SendURL(ctx, coord.URL(), payload)
 	})
 	if err != nil {
 		return nil, err
@@ -96,7 +106,7 @@ func RunHierarchical(d *Decomposition, global []meas.Measurement, opts Distribut
 	nb := d.Net.N()
 	res.State = powerflow.State{Vm: make([]float64, nb), Va: make([]float64, nb)}
 	for k := 0; k < m; k++ {
-		msg, err := coord.Recv()
+		msg, err := coord.Recv(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: coordinator receive: %w", err)
 		}
@@ -112,7 +122,7 @@ func RunHierarchical(d *Decomposition, global []meas.Measurement, opts Distribut
 		}
 	}
 	if opts.HierarchicalRefine {
-		if err := refineBoundary(d, global, &res.State, opts.DSE); err != nil {
+		if err := refineBoundary(ctx, d, global, &res.State, opts.DSE); err != nil {
 			return nil, fmt.Errorf("core: coordinator boundary refinement: %w", err)
 		}
 	}
@@ -125,7 +135,7 @@ func RunHierarchical(d *Decomposition, global []meas.Measurement, opts Distribut
 // subsystem solutions as pseudo-measurements and constrained by the
 // tie-line flow telemetry that no single balancing authority could use on
 // its own. Refined boundary states are written back into state.
-func refineBoundary(d *Decomposition, global []meas.Measurement, state *powerflow.State, dseOpts DSEOptions) error {
+func refineBoundary(ctx context.Context, d *Decomposition, global []meas.Measurement, state *powerflow.State, dseOpts DSEOptions) error {
 	if len(d.TieLines) == 0 {
 		return nil
 	}
@@ -190,7 +200,7 @@ func refineBoundary(d *Decomposition, global []meas.Measurement, state *powerflo
 	if err != nil {
 		return err
 	}
-	res, err := wls.Estimate(mod, dseOpts.WLS)
+	res, err := wls.EstimateCtx(ctx, mod, dseOpts.WLS)
 	if err != nil {
 		return err
 	}
@@ -206,8 +216,9 @@ func refineBoundary(d *Decomposition, global []meas.Measurement, state *powerflo
 // CentralizedEstimate runs the conventional single-control-center WLS
 // estimation on the full network — the baseline the distributed
 // architecture is compared against. The reference angle is taken from a
-// PMU angle measurement at the slack bus when present, else zero.
-func CentralizedEstimate(n *grid.Network, global []meas.Measurement, opts wls.Options) (*wls.Result, error) {
+// PMU angle measurement at the slack bus when present, else zero. The
+// context is checked between Gauss-Newton iterations.
+func CentralizedEstimate(ctx context.Context, n *grid.Network, global []meas.Measurement, opts wls.Options) (*wls.Result, error) {
 	ref := n.SlackIndex()
 	refAngle, ok := findRefAngle(global, n.Buses[ref].ID)
 	if !ok {
@@ -217,5 +228,5 @@ func CentralizedEstimate(n *grid.Network, global []meas.Measurement, opts wls.Op
 	if err != nil {
 		return nil, err
 	}
-	return wls.Estimate(mod, opts)
+	return wls.EstimateCtx(ctx, mod, opts)
 }

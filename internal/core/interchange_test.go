@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestInterchangeReportBalances(t *testing.T) {
 
 func TestInterchangeFromEstimateMatchesTruth(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	res, err := RunDSE(fx.dec, fx.ms, DSEOptions{})
+	res, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -45,6 +47,23 @@ type DistributedOptions struct {
 	HierarchicalRefine bool
 	// DSE configures the estimation itself.
 	DSE DSEOptions
+	// PhaseTimeout bounds each individual phase (acquire, step 1,
+	// redistribute, exchange, step 2) with its own deadline, derived from
+	// the run context. Zero means no per-phase deadline.
+	PhaseTimeout time.Duration
+	// TotalTimeout bounds the whole run with a deadline derived from the
+	// run context. Zero means no overall deadline beyond the caller's ctx.
+	TotalTimeout time.Duration
+}
+
+// phaseContext derives the context governing one named phase: PhaseTimeout
+// (when set) puts a deadline on the phase. The returned cancel must always
+// be called.
+func (o DistributedOptions) phaseContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.PhaseTimeout > 0 {
+		return context.WithTimeout(ctx, o.PhaseTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // PhaseTimings breaks down a distributed run.
@@ -81,7 +100,14 @@ type DistributedResult struct {
 // site, remap (Figure 5), redistribute raw data for migrated subsystems,
 // exchange pseudo-measurements through MeDICi-style pipelines, run DSE
 // Step 2, and aggregate the system-wide solution.
-func RunDistributed(d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*DistributedResult, error) {
+//
+// The context governs the entire run: cancellation aborts in-flight site
+// work at the next Gauss-Newton iteration and unblocks any middleware
+// receive, so the call returns promptly with a wrapped ctx.Err().
+// DistributedOptions.TotalTimeout and PhaseTimeout derive additional
+// deadlines from ctx; with both zero and an unexpiring ctx, behavior is
+// identical to the pre-context implementation.
+func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*DistributedResult, error) {
 	p := opts.Clusters
 	if p <= 0 {
 		p = 3
@@ -89,6 +115,11 @@ func RunDistributed(d *Decomposition, global []meas.Measurement, opts Distribute
 	m := len(d.Subsystems)
 	if p > m {
 		return nil, fmt.Errorf("core: %d clusters for %d subsystems", p, m)
+	}
+	if opts.TotalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TotalTimeout)
+		defer cancel()
 	}
 	totalStart := time.Now()
 
@@ -144,8 +175,9 @@ func RunDistributed(d *Decomposition, global []meas.Measurement, opts Distribute
 	}
 	defer source.Close()
 	var wireMu sync.Mutex
-	err = runOnSites(tb, res.Step1Mapping.Assign, func(si int, site *cluster.Site) error {
-		payload, err := medici.Fetch(opts.Transport, source.URL(), []byte(fmt.Sprintf("sub:%d", si)), 0)
+	acqCtx, acqCancel := opts.phaseContext(ctx)
+	err = runOnSites(acqCtx, tb, res.Step1Mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
+		payload, err := medici.Fetch(ctx, opts.Transport, source.URL(), []byte(fmt.Sprintf("sub:%d", si)))
 		if err != nil {
 			return fmt.Errorf("core: site %s acquiring subsystem %d data: %w", site.Name, si, err)
 		}
@@ -155,6 +187,7 @@ func RunDistributed(d *Decomposition, global []meas.Measurement, opts Distribute
 		wireMu.Unlock()
 		return nil
 	})
+	acqCancel()
 	if err != nil {
 		return nil, err
 	}
@@ -162,15 +195,17 @@ func RunDistributed(d *Decomposition, global []meas.Measurement, opts Distribute
 
 	// --- DSE Step 1 on the sites. ---
 	start = time.Now()
-	err = runOnSites(tb, res.Step1Mapping.Assign, func(si int, site *cluster.Site) error {
+	step1Ctx, step1Cancel := opts.phaseContext(ctx)
+	err = runOnSites(step1Ctx, tb, res.Step1Mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		sp := probs1[si]
-		out := site.RunJobs([]cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
 		if out[0].Err != nil {
 			return fmt.Errorf("core: step 1 subsystem %d on %s: %w", si, site.Name, out[0].Err)
 		}
 		res.Step1[si] = out[0].Result
 		return nil
 	})
+	step1Cancel()
 	if err != nil {
 		return nil, err
 	}
@@ -191,25 +226,33 @@ func RunDistributed(d *Decomposition, global []meas.Measurement, opts Distribute
 
 	// --- Raw-data redistribution for migrated subsystems. ---
 	start = time.Now()
-	for _, si := range res.Migrated {
-		from := tb.Sites[res.Step1Mapping.Assign[si]]
-		to := tb.Sites[res.Step2Mapping.Assign[si]]
-		payload, err := encodeMeasurements(probs1[si].Model.Meas)
-		if err != nil {
-			return nil, err
+	redistCtx, redistCancel := opts.phaseContext(ctx)
+	err = func() error {
+		for _, si := range res.Migrated {
+			from := tb.Sites[res.Step1Mapping.Assign[si]]
+			to := tb.Sites[res.Step2Mapping.Assign[si]]
+			payload, err := encodeMeasurements(probs1[si].Model.Meas)
+			if err != nil {
+				return err
+			}
+			if err := sendEnvelope(redistCtx, from, to.Name, Envelope{Kind: "migrate", FromSub: si, ToSub: si, Payload: payload}); err != nil {
+				return err
+			}
+			res.WireBytes += len(payload)
+			res.WireMessages++
 		}
-		if err := sendEnvelope(from, to.Name, Envelope{Kind: "migrate", FromSub: si, ToSub: si, Payload: payload}); err != nil {
-			return nil, err
+		// Drain the migration messages (sites would hand them to their data
+		// processors; estimation below reuses the in-memory models).
+		for range res.Migrated {
+			if _, err := recvEnvelopeAny(redistCtx, tb, "redistribute"); err != nil {
+				return err
+			}
 		}
-		res.WireBytes += len(payload)
-		res.WireMessages++
-	}
-	// Drain the migration messages (sites would hand them to their data
-	// processors; estimation below reuses the in-memory models).
-	for range res.Migrated {
-		if _, err := recvEnvelopeAny(tb); err != nil {
-			return nil, err
-		}
+		return nil
+	}()
+	redistCancel()
+	if err != nil {
+		return nil, err
 	}
 	res.Timings.Redistribute = time.Since(start)
 
@@ -223,56 +266,65 @@ func RunDistributed(d *Decomposition, global []meas.Measurement, opts Distribute
 	assign := res.Step2Mapping.Assign
 	// Inter-site packets travel via the middleware; intra-site packets are
 	// handed over in memory (same control center).
-	type expected struct{ toSub int }
-	var wire int
-	for si := 0; si < m; si++ {
-		for _, nb := range d.Neighbors(si) {
-			if assign[si] == assign[nb] {
-				incoming[nb] = append(incoming[nb], packets[si])
-				continue
+	exchCtx, exchCancel := opts.phaseContext(ctx)
+	err = func() error {
+		var wire int
+		for si := 0; si < m; si++ {
+			for _, nb := range d.Neighbors(si) {
+				if assign[si] == assign[nb] {
+					incoming[nb] = append(incoming[nb], packets[si])
+					continue
+				}
+				payload, err := EncodePacket(packets[si])
+				if err != nil {
+					return err
+				}
+				env := Envelope{Kind: "pseudo", FromSub: si, ToSub: nb, Payload: payload}
+				if err := sendEnvelope(exchCtx, tb.Sites[assign[si]], tb.Sites[assign[nb]].Name, env); err != nil {
+					return err
+				}
+				res.WireBytes += len(payload)
+				res.WireMessages++
+				wire++
 			}
-			payload, err := EncodePacket(packets[si])
+		}
+		for k := 0; k < wire; k++ {
+			env, err := recvEnvelopeAny(exchCtx, tb, "exchange")
 			if err != nil {
-				return nil, err
+				return err
 			}
-			env := Envelope{Kind: "pseudo", FromSub: si, ToSub: nb, Payload: payload}
-			if err := sendEnvelope(tb.Sites[assign[si]], tb.Sites[assign[nb]].Name, env); err != nil {
-				return nil, err
+			pkt, err := DecodePacket(env.Payload)
+			if err != nil {
+				return err
 			}
-			res.WireBytes += len(payload)
-			res.WireMessages++
-			wire++
+			incoming[env.ToSub] = append(incoming[env.ToSub], pkt)
 		}
-	}
-	for k := 0; k < wire; k++ {
-		env, err := recvEnvelopeAny(tb)
-		if err != nil {
-			return nil, err
-		}
-		pkt, err := DecodePacket(env.Payload)
-		if err != nil {
-			return nil, err
-		}
-		incoming[env.ToSub] = append(incoming[env.ToSub], pkt)
+		return nil
+	}()
+	exchCancel()
+	if err != nil {
+		return nil, err
 	}
 	res.Timings.Exchange = time.Since(start)
 
 	// --- DSE Step 2 on the (re-mapped) sites. ---
 	probs2 := make([]*Subproblem, m)
 	start = time.Now()
-	err = runOnSites(tb, assign, func(si int, site *cluster.Site) error {
+	step2Ctx, step2Cancel := opts.phaseContext(ctx)
+	err = runOnSites(step2Ctx, tb, assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		sp, err := d.BuildStep2(si, global, incoming[si], opts.DSE.PseudoSigma)
 		if err != nil {
 			return err
 		}
 		probs2[si] = sp
-		out := site.RunJobs([]cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
 		if out[0].Err != nil {
 			return fmt.Errorf("core: step 2 subsystem %d on %s: %w", si, site.Name, out[0].Err)
 		}
 		res.Step2[si] = out[0].Result
 		return nil
 	})
+	step2Cancel()
 	if err != nil {
 		return nil, err
 	}
@@ -292,8 +344,13 @@ func RunDistributed(d *Decomposition, global []meas.Measurement, opts Distribute
 
 // runOnSites executes fn for every subsystem, grouped per site: each site
 // processes its subsystems sequentially while sites run concurrently —
-// the testbed's execution model.
-func runOnSites(tb *cluster.Testbed, assign []int, fn func(si int, site *cluster.Site) error) error {
+// the testbed's execution model. Orchestration is fail-fast: the first
+// error cancels the context passed to every other site's fn, so siblings
+// stop at their next cancellation point instead of running to completion.
+// All errors collected before the stop are reported via errors.Join.
+func runOnSites(ctx context.Context, tb *cluster.Testbed, assign []int, fn func(ctx context.Context, si int, site *cluster.Site) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	perSite := make([][]int, len(tb.Sites))
 	for si, c := range assign {
 		perSite[c] = append(perSite[c], si)
@@ -305,33 +362,41 @@ func runOnSites(tb *cluster.Testbed, assign []int, fn func(si int, site *cluster
 		go func(c int) {
 			defer wg.Done()
 			for _, si := range perSite[c] {
-				if err := fn(si, tb.Sites[c]); err != nil {
+				if ctx.Err() != nil {
+					return // a sibling failed; don't start more work
+				}
+				if err := fn(ctx, si, tb.Sites[c]); err != nil {
 					errs[c] = err
+					cancel() // fail fast: stop the other sites
 					return
 				}
 			}
 		}(c)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
-func sendEnvelope(from *cluster.Site, toName string, env Envelope) error {
+func sendEnvelope(ctx context.Context, from *cluster.Site, toName string, env Envelope) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
 		return fmt.Errorf("core: encoding envelope: %w", err)
 	}
-	return from.Client().Send(toName, buf.Bytes())
+	return from.Client().Send(ctx, toName, buf.Bytes())
 }
 
+// envelopePollInterval is how often recvEnvelopeAny rescans the sites'
+// buffered receivers between cancellation checks.
+const envelopePollInterval = 200 * time.Microsecond
+
 // recvEnvelopeAny receives the next envelope from whichever site has one
-// pending (round-robin polling over the sites' buffered receivers).
-func recvEnvelopeAny(tb *cluster.Testbed) (Envelope, error) {
+// pending (round-robin polling over the sites' buffered receivers). If no
+// envelope arrives before ctx is done — a lost or misrouted message — it
+// returns ctx.Err() wrapped with the phase name instead of spinning
+// forever.
+func recvEnvelopeAny(ctx context.Context, tb *cluster.Testbed, phase string) (Envelope, error) {
+	timer := time.NewTimer(envelopePollInterval)
+	defer timer.Stop()
 	for {
 		for _, s := range tb.Sites {
 			select {
@@ -344,7 +409,12 @@ func recvEnvelopeAny(tb *cluster.Testbed) (Envelope, error) {
 			default:
 			}
 		}
-		time.Sleep(200 * time.Microsecond)
+		timer.Reset(envelopePollInterval)
+		select {
+		case <-ctx.Done():
+			return Envelope{}, fmt.Errorf("core: %s: waiting for envelope: %w", phase, ctx.Err())
+		case <-timer.C:
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ import (
 
 func TestRunDistributedEndToEnd(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	res, err := RunDistributed(fx.dec, fx.ms, DistributedOptions{Clusters: 3})
+	res, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 3})
 	if err != nil {
 		t.Fatalf("RunDistributed: %v", err)
 	}
@@ -54,11 +55,11 @@ func TestRunDistributedEndToEnd(t *testing.T) {
 
 func TestRunDistributedMatchesInProcess(t *testing.T) {
 	fx := newFixture(t, grid.Case30, 3, 1)
-	dist, err := RunDistributed(fx.dec, fx.ms, DistributedOptions{Clusters: 2})
+	dist, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	inproc, err := RunDSE(fx.dec, fx.ms, DSEOptions{})
+	inproc, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,11 @@ func TestRunDistributedMatchesInProcess(t *testing.T) {
 
 func TestRunDistributedNoMappingBaseline(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	withMap, err := RunDistributed(fx.dec, fx.ms, DistributedOptions{Clusters: 3})
+	withMap, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noMap, err := RunDistributed(fx.dec, fx.ms, DistributedOptions{Clusters: 3, NoMapping: true})
+	noMap, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 3, NoMapping: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +100,11 @@ func TestRunDistributedNoMappingBaseline(t *testing.T) {
 
 func TestRunDistributedShapedNetworkSlower(t *testing.T) {
 	fx := newFixture(t, grid.Case30, 3, 1)
-	fast, err := RunDistributed(fx.dec, fx.ms, DistributedOptions{Clusters: 3})
+	fast, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := RunDistributed(fx.dec, fx.ms, DistributedOptions{
+	slow, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{
 		Clusters:  3,
 		Transport: cluster.NewShapedTransport(cluster.LinkProfile{Latency: 30 * time.Millisecond}, nil),
 	})
@@ -124,14 +125,14 @@ func TestRunDistributedShapedNetworkSlower(t *testing.T) {
 
 func TestRunDistributedValidation(t *testing.T) {
 	fx := newFixture(t, grid.Case14, 2, 0)
-	if _, err := RunDistributed(fx.dec, fx.ms, DistributedOptions{Clusters: 5}); err == nil {
+	if _, err := RunDistributed(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 5}); err == nil {
 		t.Fatal("clusters > subsystems accepted")
 	}
 }
 
 func TestRunHierarchical(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	res, err := RunHierarchical(fx.dec, fx.ms, DistributedOptions{Clusters: 3})
+	res, err := RunHierarchical(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 3})
 	if err != nil {
 		t.Fatalf("RunHierarchical: %v", err)
 	}
@@ -161,7 +162,7 @@ func TestRunHierarchical(t *testing.T) {
 
 func TestCentralizedEstimateBaseline(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	res, err := CentralizedEstimate(fx.net, fx.ms, wls.Options{})
+	res, err := CentralizedEstimate(context.Background(), fx.net, fx.ms, wls.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestDSEStep2ImprovesBoundaryOverStep1(t *testing.T) {
 	// The point of Step 2: boundary estimates improve once neighbor
 	// information arrives. Compare boundary-bus RMS error before/after.
 	fx := newFixture(t, grid.Case118, 9, 1)
-	res, err := RunDSE(fx.dec, fx.ms, DSEOptions{})
+	res, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +212,11 @@ func TestDSEStep2ImprovesBoundaryOverStep1(t *testing.T) {
 // the boundary accuracy of the concatenated solution.
 func TestHierarchicalRefinementImprovesBoundary(t *testing.T) {
 	fx := newFixture(t, grid.Case118, 9, 1)
-	plain, err := RunHierarchical(fx.dec, fx.ms, DistributedOptions{Clusters: 3})
+	plain, err := RunHierarchical(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	refined, err := RunHierarchical(fx.dec, fx.ms, DistributedOptions{Clusters: 3, HierarchicalRefine: true})
+	refined, err := RunHierarchical(context.Background(), fx.dec, fx.ms, DistributedOptions{Clusters: 3, HierarchicalRefine: true})
 	if err != nil {
 		t.Fatal(err)
 	}

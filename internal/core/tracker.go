@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/meas"
 )
 
@@ -23,12 +25,20 @@ func NewTracker(d *Decomposition, opts DSEOptions) *Tracker {
 	return &Tracker{Dec: d, Opts: opts}
 }
 
-// Process runs one full DSE pass on a measurement frame and retains the
-// per-subsystem solutions as the next frame's warm start.
+// Process runs one full DSE pass on a measurement frame. It is the
+// uncancellable convenience form of Step.
 func (t *Tracker) Process(frame []meas.Measurement) (*DSEResult, error) {
+	return t.Step(context.Background(), frame)
+}
+
+// Step runs one full DSE pass on a measurement frame and retains the
+// per-subsystem solutions as the next frame's warm start. Cancellation
+// aborts the pass without corrupting the warm-start state (a canceled
+// frame leaves the tracker exactly as it was).
+func (t *Tracker) Step(ctx context.Context, frame []meas.Measurement) (*DSEResult, error) {
 	opts := t.Opts
 	opts.WarmStart = t.warm
-	res, err := RunDSE(t.Dec, frame, opts)
+	res, err := RunDSE(ctx, t.Dec, frame, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -105,7 +106,7 @@ func TestDSEWithTopologyChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunDSE(dec, ms, DSEOptions{})
+	res, err := RunDSE(context.Background(), dec, ms, DSEOptions{})
 	if err != nil {
 		t.Fatalf("DSE after topology change: %v", err)
 	}

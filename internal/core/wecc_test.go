@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestDSEOnSyntheticInterconnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunDSE(dec, ms, DSEOptions{})
+	res, err := RunDSE(context.Background(), dec, ms, DSEOptions{})
 	if err != nil {
 		t.Fatalf("RunDSE: %v", err)
 	}

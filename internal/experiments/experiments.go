@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -116,21 +117,24 @@ func FullSizes() []int {
 
 // RunTable3 measures middleware overhead "within a Linux workstation":
 // unshaped loopback TCP.
-func RunTable3(sizes []int) ([]OverheadRow, error) {
-	return overheadSweep(nil, sizes)
+func RunTable3(ctx context.Context, sizes []int) ([]OverheadRow, error) {
+	return overheadSweep(ctx, nil, sizes)
 }
 
 // RunTable4 measures middleware overhead "between a workstation and an HPC
 // cluster": loopback shaped to the paper's lab-network profile.
-func RunTable4(sizes []int) ([]OverheadRow, error) {
+func RunTable4(ctx context.Context, sizes []int) ([]OverheadRow, error) {
 	tr := cluster.NewShapedTransport(cluster.LabNetworkProfile(), nil)
-	return overheadSweep(tr, sizes)
+	return overheadSweep(ctx, tr, sizes)
 }
 
-func overheadSweep(tr medici.Transport, sizes []int) ([]OverheadRow, error) {
+func overheadSweep(ctx context.Context, tr medici.Transport, sizes []int) ([]OverheadRow, error) {
 	rows := make([]OverheadRow, 0, len(sizes))
 	for _, sz := range sizes {
-		s, err := medici.MeasureOverhead(tr, sz, 0)
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		s, err := medici.MeasureOverhead(ctx, tr, sz, 0)
 		if err != nil {
 			return rows, fmt.Errorf("size %d: %w", sz, err)
 		}
@@ -258,15 +262,15 @@ type EndToEnd struct {
 }
 
 // RunEndToEnd executes both paths and reports times and agreement.
-func RunEndToEnd(fx *Fixture, p int) (EndToEnd, error) {
+func RunEndToEnd(ctx context.Context, fx *Fixture, p int) (EndToEnd, error) {
 	start := time.Now()
-	cen, err := core.CentralizedEstimate(fx.Net, fx.Meas, wls.Options{})
+	cen, err := core.CentralizedEstimate(ctx, fx.Net, fx.Meas, wls.Options{})
 	if err != nil {
 		return EndToEnd{}, err
 	}
 	e := EndToEnd{CentralizedTime: time.Since(start)}
 
-	dist, err := core.RunDistributed(fx.Dec, fx.Meas, core.DistributedOptions{Clusters: p})
+	dist, err := core.RunDistributed(ctx, fx.Dec, fx.Meas, core.DistributedOptions{Clusters: p})
 	if err != nil {
 		return e, err
 	}

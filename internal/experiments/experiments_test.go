@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -78,11 +79,11 @@ func TestTables3And4OverheadShape(t *testing.T) {
 		t.Skip("network timing test")
 	}
 	sizes := []int{1 << 20, 4 << 20}
-	local, err := RunTable3(sizes)
+	local, err := RunTable3(context.Background(), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	remote, err := RunTable4(sizes)
+	remote, err := RunTable4(context.Background(), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestExpr2PositiveSlope(t *testing.T) {
 
 func TestEndToEndAgreement(t *testing.T) {
 	fx := testFixture(t)
-	e, err := RunEndToEnd(fx, 3)
+	e, err := RunEndToEnd(context.Background(), fx, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestExpr1CurveMonotone(t *testing.T) {
 
 func TestRoundsStudyStable(t *testing.T) {
 	fx := testFixture(t)
-	pts, err := RunRoundsStudy(fx)
+	pts, err := RunRoundsStudy(context.Background(), fx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -17,14 +18,14 @@ type RoundsPoint struct {
 // accuracy — the paper states the Step 1/2 iteration converges within a
 // number of rounds bounded by the decomposition-graph diameter [10]. The
 // study sweeps rounds 1..diameter+1 and reports boundary angle RMS error.
-func RunRoundsStudy(fx *Fixture) ([]RoundsPoint, error) {
+func RunRoundsStudy(ctx context.Context, fx *Fixture) ([]RoundsPoint, error) {
 	maxRounds := fx.Dec.Diameter() + 1
 	if maxRounds < 2 {
 		maxRounds = 2
 	}
 	var out []RoundsPoint
 	for rounds := 1; rounds <= maxRounds; rounds++ {
-		res, err := core.RunDSE(fx.Dec, fx.Meas, core.DSEOptions{Rounds: rounds})
+		res, err := core.RunDSE(ctx, fx.Dec, fx.Meas, core.DSEOptions{Rounds: rounds})
 		if err != nil {
 			return out, err
 		}

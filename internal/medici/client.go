@@ -1,6 +1,7 @@
 package medici
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -53,35 +54,43 @@ func (c *MWClient) Name() string { return c.name }
 // Send transmits data to the named destination: it resolves the
 // destination URL (normally a MeDICi pipeline inbound endpoint that relays
 // to the destination estimator), dials it and writes one framed message.
-func (c *MWClient) Send(dst string, data []byte) error {
+// The context bounds both the dial and the write.
+func (c *MWClient) Send(ctx context.Context, dst string, data []byte) error {
 	url, err := c.registry.Resolve(dst)
 	if err != nil {
 		return err
 	}
-	return c.SendURL(url, data)
+	return c.SendURL(ctx, url, data)
 }
 
-// SendURL transmits one framed message straight to a tcp:// URL.
-func (c *MWClient) SendURL(url string, data []byte) error {
+// SendURL transmits one framed message straight to a tcp:// URL. The
+// context bounds both the dial and the write; cancellation mid-write
+// surfaces as ctx.Err().
+func (c *MWClient) SendURL(ctx context.Context, url string, data []byte) error {
 	ep, err := ParseEndpoint(url)
 	if err != nil {
 		return err
 	}
-	conn, err := c.transport.Dial(ep.Addr())
+	conn, err := c.transport.DialContext(ctx, ep.Addr())
 	if err != nil {
-		return fmt.Errorf("medici: dial %s: %w", ep.Addr(), err)
+		return fmt.Errorf("medici: dial %s: %w", ep.Addr(), ctxIOErr(ctx, err))
 	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetWriteDeadline(deadline)
+	}
+	stop := cancelOnDone(ctx, conn)
 	werr := c.frame.WriteMessage(conn, data)
+	stop()
 	cerr := conn.Close()
 	if werr != nil {
-		return werr
+		return ctxIOErr(ctx, werr)
 	}
 	return cerr
 }
 
 // Recv blocks until one message arrives in the local data buffer. It
-// returns an error when the client is closed.
-func (c *MWClient) Recv() ([]byte, error) { return c.recv.Recv() }
+// returns an error when the client is closed or ctx is canceled.
+func (c *MWClient) Recv(ctx context.Context) ([]byte, error) { return c.recv.Recv(ctx) }
 
 // Messages exposes the local data buffer channel.
 func (c *MWClient) Messages() <-chan []byte { return c.recv.Messages() }
@@ -153,11 +162,15 @@ func (r *Receiver) acceptLoop() {
 	}
 }
 
-// Recv blocks for the next message.
-func (r *Receiver) Recv() ([]byte, error) {
+// Recv blocks for the next message. It unblocks with ctx.Err() when the
+// context is canceled, or with a closure error when the receiver closes
+// (after draining anything already buffered).
+func (r *Receiver) Recv(ctx context.Context) ([]byte, error) {
 	select {
 	case msg := <-r.ch:
 		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-r.done:
 		// Drain anything already buffered before reporting closure.
 		select {

@@ -1,6 +1,7 @@
 package medici
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -36,9 +37,12 @@ func (e Endpoint) Addr() string { return net.JoinHostPort(e.Host, e.Port) }
 func (e Endpoint) URL() string { return "tcp://" + e.Addr() }
 
 // Transport abstracts connection establishment so tests and the cluster
-// network simulator can substitute shaped links for plain TCP.
+// network simulator can substitute shaped links for plain TCP. DialContext
+// is the canonical dial path: it must honor ctx cancellation and deadline
+// while establishing the connection.
 type Transport interface {
 	Dial(addr string) (net.Conn, error)
+	DialContext(ctx context.Context, addr string) (net.Conn, error)
 	Listen(addr string) (net.Listener, error)
 }
 
@@ -47,6 +51,12 @@ type TCPTransport struct{}
 
 // Dial implements Transport.
 func (TCPTransport) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// DialContext implements Transport with a context-bounded dial.
+func (TCPTransport) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
 
 // Listen implements Transport.
 func (TCPTransport) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

@@ -1,6 +1,7 @@
 package medici
 
 import (
+	"context"
 	"encoding/binary"
 	"net"
 	"strings"
@@ -32,7 +33,7 @@ func TestPipelineSurvivesDeadOutbound(t *testing.T) {
 	if err := p.AddMifComponent(c); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Start(); err != nil {
+	if err := p.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
@@ -46,7 +47,7 @@ func TestPipelineSurvivesDeadOutbound(t *testing.T) {
 
 	// Message to a dead destination: send succeeds (the pipeline accepted
 	// it), the relay fails internally.
-	if err := src.SendURL(p.InboundURLs()[0], []byte("lost")); err != nil {
+	if err := src.SendURL(context.Background(), p.InboundURLs()[0], []byte("lost")); err != nil {
 		t.Fatalf("send into pipeline: %v", err)
 	}
 	time.Sleep(50 * time.Millisecond)
@@ -93,7 +94,7 @@ func TestReceiverSurvivesMalformedFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	good.Close()
-	msg, err := r.Recv()
+	msg, err := r.Recv(context.Background())
 	if err != nil {
 		t.Fatalf("receiver dead after malformed frame: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestReceiverSurvivesTruncatedBody(t *testing.T) {
 		t.Fatal(err)
 	}
 	good.Close()
-	msg, err := r.Recv()
+	msg, err := r.Recv(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +154,11 @@ func TestSendToClosedReceiver(t *testing.T) {
 	}
 	defer src.Close()
 	dst.Close()
-	if err := src.Send("dst", []byte("x")); err == nil {
+	if err := src.Send(context.Background(), "dst", []byte("x")); err == nil {
 		// Connection may be accepted by the OS backlog before close
 		// propagates; either a send error or a clean no-op is acceptable,
 		// but a second send must certainly fail.
-		if err2 := src.Send("dst", []byte("y")); err2 == nil {
+		if err2 := src.Send(context.Background(), "dst", []byte("y")); err2 == nil {
 			t.Fatal("sends to closed receiver keep succeeding")
 		}
 	}
@@ -176,7 +177,7 @@ func TestRecvAfterCloseDrainsBuffered(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer src.Close()
-	if err := src.Send("dst", []byte("buffered")); err != nil {
+	if err := src.Send(context.Background(), "dst", []byte("buffered")); err != nil {
 		t.Fatal(err)
 	}
 	// Wait until delivered into the buffer.
@@ -188,14 +189,14 @@ func TestRecvAfterCloseDrainsBuffered(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	dst.Close()
-	msg, err := dst.Recv()
+	msg, err := dst.Recv(context.Background())
 	if err != nil {
 		t.Fatalf("buffered message lost on close: %v", err)
 	}
 	if string(msg) != "buffered" {
 		t.Fatalf("got %q", msg)
 	}
-	if _, err := dst.Recv(); err == nil {
+	if _, err := dst.Recv(context.Background()); err == nil {
 		t.Fatal("second recv after close should fail")
 	}
 }

@@ -2,6 +2,7 @@ package medici
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"sync"
@@ -133,17 +134,17 @@ func TestMWClientSendRecvDirect(t *testing.T) {
 	}
 	defer b.Close()
 
-	if err := a.Send("b", []byte("pseudo-measurements")); err != nil {
+	if err := a.Send(context.Background(), "b", []byte("pseudo-measurements")); err != nil {
 		t.Fatal(err)
 	}
-	msg, err := b.Recv()
+	msg, err := b.Recv(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(msg) != "pseudo-measurements" {
 		t.Fatalf("got %q", msg)
 	}
-	if err := a.Send("nobody", nil); err == nil {
+	if err := a.Send(context.Background(), "nobody", nil); err == nil {
 		t.Fatal("send to unregistered name succeeded")
 	}
 }
@@ -173,7 +174,7 @@ func TestPipelineRelaysOneWay(t *testing.T) {
 	if err := pipeline.AddMifComponent(se); err != nil {
 		t.Fatal(err)
 	}
-	if err := pipeline.Start(); err != nil {
+	if err := pipeline.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer pipeline.Stop()
@@ -185,10 +186,10 @@ func TestPipelineRelaysOneWay(t *testing.T) {
 	defer src.Close()
 
 	payload := bytes.Repeat([]byte("x"), 1<<16)
-	if err := src.SendURL(pipeline.InboundURLs()[0], payload); err != nil {
+	if err := src.SendURL(context.Background(), pipeline.InboundURLs()[0], payload); err != nil {
 		t.Fatal(err)
 	}
-	msg, err := dst.Recv()
+	msg, err := dst.Recv(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestPipelineMultipleMessages(t *testing.T) {
 	se.SetInboundEndpoint("tcp://127.0.0.1:0")
 	se.SetOutboundEndpoint(dst.URL())
 	pipeline.AddMifComponent(se)
-	if err := pipeline.Start(); err != nil {
+	if err := pipeline.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer pipeline.Stop()
@@ -228,13 +229,13 @@ func TestPipelineMultipleMessages(t *testing.T) {
 
 	in := pipeline.InboundURLs()[0]
 	for i := 0; i < 5; i++ {
-		if err := src.SendURL(in, []byte{byte(i)}); err != nil {
+		if err := src.SendURL(context.Background(), in, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	seen := map[byte]bool{}
 	for i := 0; i < 5; i++ {
-		msg, err := dst.Recv()
+		msg, err := dst.Recv(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,7 +254,7 @@ func TestPipelineValidation(t *testing.T) {
 	p.AddMifConnector(TCP)
 	c := NewComponent("c")
 	p.AddMifComponent(c)
-	if err := p.Start(); err == nil {
+	if err := p.Start(context.Background()); err == nil {
 		t.Fatal("start with missing endpoints accepted")
 	}
 	if err := c.SetInboundEndpoint("garbage"); err == nil {
@@ -278,11 +279,11 @@ func TestPipelineDoubleStart(t *testing.T) {
 	c.SetInboundEndpoint("tcp://127.0.0.1:0")
 	c.SetOutboundEndpoint(dst.URL())
 	p.AddMifComponent(c)
-	if err := p.Start(); err != nil {
+	if err := p.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer p.Stop()
-	if err := p.Start(); err == nil {
+	if err := p.Start(context.Background()); err == nil {
 		t.Fatal("double start accepted")
 	}
 }
@@ -294,7 +295,7 @@ func TestReceiverCloseUnblocksRecv(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := r.Recv()
+		_, err := r.Recv(context.Background())
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -334,7 +335,7 @@ func TestConcurrentSends(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := src.Send("dst", []byte{byte(i)}); err != nil {
+			if err := src.Send(context.Background(), "dst", []byte{byte(i)}); err != nil {
 				t.Errorf("send %d: %v", i, err)
 			}
 		}(i)
@@ -342,7 +343,7 @@ func TestConcurrentSends(t *testing.T) {
 	wg.Wait()
 	seen := map[byte]bool{}
 	for i := 0; i < n; i++ {
-		msg, err := dst.Recv()
+		msg, err := dst.Recv(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -354,7 +355,7 @@ func TestConcurrentSends(t *testing.T) {
 }
 
 func TestMeasureOverheadSmall(t *testing.T) {
-	s, err := MeasureOverhead(nil, 1<<20, 0)
+	s, err := MeasureOverhead(context.Background(), nil, 1<<20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestMeasureOverheadCalibratedDelay(t *testing.T) {
 	// at least ~1ms extra overhead.
 	const size = 1 << 20
 	perByte := time.Microsecond / 1024
-	s, err := MeasureOverhead(nil, size, perByte)
+	s, err := MeasureOverhead(context.Background(), nil, size, perByte)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package medici
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"time"
@@ -20,7 +21,8 @@ type OverheadSample struct {
 // one payload size on the given transport: it times a direct transfer and a
 // transfer relayed through a freshly started single-component pipeline.
 // The payload content is deterministic and integrity-checked end to end.
-func MeasureOverhead(tr Transport, size int, relayDelayPerByte time.Duration) (OverheadSample, error) {
+// The context bounds every transfer in the experiment.
+func MeasureOverhead(ctx context.Context, tr Transport, size int, relayDelayPerByte time.Duration) (OverheadSample, error) {
 	if tr == nil {
 		tr = TCPTransport{}
 	}
@@ -56,10 +58,10 @@ func MeasureOverhead(tr Transport, size int, relayDelayPerByte time.Duration) (O
 
 	// Direct: src -> dst over one TCP connection.
 	start := time.Now()
-	if err := src.Send("dst", payload); err != nil {
+	if err := src.Send(ctx, "dst", payload); err != nil {
 		return sample, fmt.Errorf("direct send: %w", err)
 	}
-	msg, err := dst.Recv()
+	msg, err := dst.Recv(ctx)
 	if err != nil {
 		return sample, fmt.Errorf("direct recv: %w", err)
 	}
@@ -92,17 +94,17 @@ func MeasureOverhead(tr Transport, size int, relayDelayPerByte time.Duration) (O
 	if err := pipeline.AddMifComponent(se); err != nil {
 		return sample, err
 	}
-	if err := pipeline.Start(); err != nil {
+	if err := pipeline.Start(ctx); err != nil {
 		return sample, err
 	}
 	defer pipeline.Stop()
 	inURL := pipeline.InboundURLs()[0]
 
 	start = time.Now()
-	if err := src.SendURL(inURL, payload); err != nil {
+	if err := src.SendURL(ctx, inURL, payload); err != nil {
 		return sample, fmt.Errorf("relayed send: %w", err)
 	}
-	msg, err = dst.Recv()
+	msg, err = dst.Recv(ctx)
 	if err != nil {
 		return sample, fmt.Errorf("relayed recv: %w", err)
 	}

@@ -1,6 +1,7 @@
 package medici
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ type MifPipeline struct {
 	started bool
 	ln      []net.Listener
 	wg      sync.WaitGroup
+	stopped chan struct{} // closed by Stop; releases the ctx watcher
 }
 
 // NewMifPipeline creates an empty pipeline.
@@ -131,12 +133,16 @@ func (p *MifPipeline) AddMifComponent(c *Component) error {
 
 // Start begins listening on every component's inbound endpoint and routing
 // messages to its outbound endpoint. It returns once all listeners are
-// bound.
-func (p *MifPipeline) Start() error {
+// bound. Canceling ctx stops the pipeline as if Stop had been called; ctx
+// also bounds every outbound relay dial.
+func (p *MifPipeline) Start(ctx context.Context) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.started {
 		return fmt.Errorf("medici: pipeline %q already started", p.name)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("medici: pipeline %q start: %w", p.name, err)
 	}
 	for _, c := range p.components {
 		if c.inbound == "" || c.outbound == "" {
@@ -152,15 +158,27 @@ func (p *MifPipeline) Start() error {
 		}
 		p.ln = append(p.ln, ln)
 		p.wg.Add(1)
-		go p.serveComponent(c, ln)
+		go p.serveComponent(ctx, c, ln)
+	}
+	p.stopped = make(chan struct{})
+	if ctx.Done() != nil {
+		stopped := p.stopped
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.Stop()
+			case <-stopped:
+			}
+		}()
 	}
 	p.started = true
 	return nil
 }
 
 // serveComponent accepts inbound connections for one component and relays
-// each connection's messages to the outbound endpoint.
-func (p *MifPipeline) serveComponent(c *Component, ln net.Listener) {
+// each connection's messages to the outbound endpoint. ctx bounds every
+// outbound relay dial.
+func (p *MifPipeline) serveComponent(ctx context.Context, c *Component, ln net.Listener) {
 	defer p.wg.Done()
 	for {
 		conn, err := ln.Accept()
@@ -171,7 +189,7 @@ func (p *MifPipeline) serveComponent(c *Component, ln net.Listener) {
 		go func() {
 			defer p.wg.Done()
 			defer conn.Close()
-			if err := p.relay(c, conn); err != nil && !errors.Is(err, io.EOF) {
+			if err := p.relay(ctx, c, conn); err != nil && !errors.Is(err, io.EOF) {
 				log.Printf("medici: pipeline %q component %q relay: %v", p.name, c.name, err)
 			}
 		}()
@@ -182,7 +200,7 @@ func (p *MifPipeline) serveComponent(c *Component, ln net.Listener) {
 // the inbound connection and writes it to a fresh outbound connection
 // (MeDICi semantics: the middleware terminates the producer's connection
 // and originates the consumer's).
-func (p *MifPipeline) relay(c *Component, in net.Conn) error {
+func (p *MifPipeline) relay(ctx context.Context, c *Component, in net.Conn) error {
 	out, err := ParseEndpoint(c.outbound)
 	if err != nil {
 		return err
@@ -199,7 +217,7 @@ func (p *MifPipeline) relay(c *Component, in net.Conn) error {
 		if d := c.connector.relayDelayPerByte; d > 0 {
 			time.Sleep(time.Duration(len(msg)) * d)
 		}
-		dst, err := c.connector.transport.Dial(out.Addr())
+		dst, err := c.connector.transport.DialContext(ctx, out.Addr())
 		if err != nil {
 			return fmt.Errorf("dial outbound %s: %w", out.Addr(), err)
 		}
@@ -214,12 +232,18 @@ func (p *MifPipeline) relay(c *Component, in net.Conn) error {
 	}
 }
 
-// Stop closes all listeners and waits for in-flight relays to finish.
+// Stop closes all listeners and waits for in-flight relays to finish. It
+// is safe to call more than once (the Start-context watcher also calls it
+// on cancellation).
 func (p *MifPipeline) Stop() {
 	p.mu.Lock()
 	lns := p.ln
 	p.ln = nil
 	p.started = false
+	if p.stopped != nil {
+		close(p.stopped)
+		p.stopped = nil
+	}
 	p.mu.Unlock()
 	for _, ln := range lns {
 		ln.Close()

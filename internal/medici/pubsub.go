@@ -2,6 +2,7 @@ package medici
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"log"
@@ -29,6 +30,11 @@ type Broker struct {
 	transport Transport
 	frame     Protocol
 
+	// baseCtx bounds broker-originated I/O (subscriber deliveries); it is
+	// canceled when the broker closes.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	mu   sync.Mutex
 	subs map[string][]*subscription
 	wg   sync.WaitGroup
@@ -52,8 +58,29 @@ func NewBroker(addr string, tr Transport, depth int) (*Broker, error) {
 		return nil, err
 	}
 	b := &Broker{recv: recv, transport: tr, frame: frame, subs: make(map[string][]*subscription)}
+	b.baseCtx, b.cancel = context.WithCancel(context.Background())
 	b.wg.Add(1)
 	go b.dispatchLoop()
+	return b, nil
+}
+
+// NewBrokerContext starts a broker whose lifetime is additionally bound to
+// ctx: when ctx is canceled the broker shuts down as if Close had been
+// called, canceling in-flight deliveries and unblocking the dispatch loop.
+func NewBrokerContext(ctx context.Context, addr string, tr Transport, depth int) (*Broker, error) {
+	b, err := NewBroker(addr, tr, depth)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				b.Close()
+			case <-b.baseCtx.Done(): // broker closed on its own
+			}
+		}()
+	}
 	return b, nil
 }
 
@@ -111,7 +138,7 @@ func (b *Broker) Dropped(topic, url string) int {
 func (b *Broker) dispatchLoop() {
 	defer b.wg.Done()
 	for {
-		msg, err := b.recv.Recv()
+		msg, err := b.recv.Recv(b.baseCtx)
 		if err != nil {
 			return // broker closed
 		}
@@ -123,6 +150,10 @@ func (b *Broker) dispatchLoop() {
 		b.deliver(f)
 	}
 }
+
+// deliverTimeout bounds the broker's dial to each subscriber so one dead
+// subscriber cannot stall the dispatch loop.
+const deliverTimeout = 5 * time.Second
 
 func (b *Broker) deliver(f pubFrame) {
 	now := time.Now()
@@ -142,7 +173,9 @@ func (b *Broker) deliver(f pubFrame) {
 		if err != nil {
 			continue
 		}
-		conn, err := b.transport.Dial(ep.Addr())
+		dctx, dcancel := context.WithTimeout(b.baseCtx, deliverTimeout)
+		conn, err := b.transport.DialContext(dctx, ep.Addr())
+		dcancel()
 		if err != nil {
 			log.Printf("medici: broker: subscriber %s unreachable: %v", url, err)
 			continue
@@ -154,8 +187,9 @@ func (b *Broker) deliver(f pubFrame) {
 	}
 }
 
-// Close stops the broker.
+// Close stops the broker and cancels any in-flight deliveries.
 func (b *Broker) Close() error {
+	b.cancel()
 	err := b.recv.Close()
 	b.wg.Wait()
 	return err
@@ -179,8 +213,9 @@ func NewPublisher(brokerURL string, tr Transport) (*Publisher, error) {
 	return &Publisher{broker: brokerURL, transport: tr, frame: LengthPrefixProtocol{}}, nil
 }
 
-// Publish sends one topic update.
-func (p *Publisher) Publish(topic string, payload []byte) error {
+// Publish sends one topic update. The context bounds the dial and write
+// to the broker.
+func (p *Publisher) Publish(ctx context.Context, topic string, payload []byte) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(pubFrame{Topic: topic, Payload: payload}); err != nil {
 		return fmt.Errorf("medici: encoding publish frame: %w", err)
@@ -189,14 +224,19 @@ func (p *Publisher) Publish(topic string, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	conn, err := p.transport.Dial(ep.Addr())
+	conn, err := p.transport.DialContext(ctx, ep.Addr())
 	if err != nil {
-		return fmt.Errorf("medici: dialing broker: %w", err)
+		return fmt.Errorf("medici: dialing broker: %w", ctxIOErr(ctx, err))
 	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetWriteDeadline(deadline)
+	}
+	stop := cancelOnDone(ctx, conn)
 	werr := p.frame.WriteMessage(conn, buf.Bytes())
+	stop()
 	cerr := conn.Close()
 	if werr != nil {
-		return werr
+		return ctxIOErr(ctx, werr)
 	}
 	return cerr
 }

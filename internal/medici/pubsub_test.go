@@ -1,6 +1,7 @@
 package medici
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -44,7 +45,7 @@ func TestPubSubDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := pub.Publish("pmu/area1", []byte{byte(i)}); err != nil {
+		if err := pub.Publish(context.Background(), "pmu/area1", []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -67,9 +68,9 @@ func TestPubSubTopicIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub.Publish("topicA", []byte("for A"))
-	pub.Publish("topicA", []byte("for A again"))
-	pub.Publish("topicB", []byte("for B"))
+	pub.Publish(context.Background(), "topicA", []byte("for A"))
+	pub.Publish(context.Background(), "topicA", []byte("for A again"))
+	pub.Publish(context.Background(), "topicB", []byte("for B"))
 	if got := drainCount(a, 400*time.Millisecond); got != 2 {
 		t.Errorf("A got %d, want 2", got)
 	}
@@ -97,7 +98,7 @@ func TestPubSubRateDecimation(t *testing.T) {
 	}
 	const burst = 100
 	for i := 0; i < burst; i++ {
-		if err := pub.Publish("pmu", []byte(fmt.Sprintf("sample-%d", i))); err != nil {
+		if err := pub.Publish(context.Background(), "pmu", []byte(fmt.Sprintf("sample-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -134,7 +135,7 @@ func TestPubSubDeadSubscriberDoesNotBlockOthers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		pub.Publish("t", []byte{byte(i)})
+		pub.Publish(context.Background(), "t", []byte{byte(i)})
 	}
 	if got := drainCount(alive, 500*time.Millisecond); got != 3 {
 		t.Fatalf("live subscriber got %d of 3 despite dead peer", got)
@@ -154,14 +155,14 @@ func TestPubSubUnsubscribeAndResubscribe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub.Publish("t", []byte("missed"))
+	pub.Publish(context.Background(), "t", []byte("missed"))
 	if got := drainCount(sub, 300*time.Millisecond); got != 0 {
 		t.Fatalf("unsubscribed receiver got %d messages", got)
 	}
 	// Re-subscribe with a new rate replaces cleanly.
 	broker.Subscribe("t", sub.URL(), 0)
 	broker.Subscribe("t", sub.URL(), 5) // replacement, not duplicate
-	pub.Publish("t", []byte("hit"))
+	pub.Publish(context.Background(), "t", []byte("hit"))
 	if got := drainCount(sub, 400*time.Millisecond); got != 1 {
 		t.Fatalf("resubscribed receiver got %d messages, want 1 (no duplicates)", got)
 	}

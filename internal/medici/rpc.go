@@ -1,6 +1,7 @@
 package medici
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -96,35 +97,46 @@ func (s *DataServer) Close() error {
 // ErrRemote wraps an error reported by the remote fetch handler.
 var ErrRemote = errors.New("medici: remote fetch error")
 
+// DefaultFetchTimeout bounds a Fetch exchange when the caller's context
+// carries no deadline of its own.
+const DefaultFetchTimeout = 30 * time.Second
+
 // Fetch sends a request to a data server URL and returns its reply —
-// MW_Client_Recv's pull counterpart. timeout bounds the whole exchange
-// (0 = 30 s).
-func Fetch(tr Transport, url string, request []byte, timeout time.Duration) ([]byte, error) {
+// MW_Client_Recv's pull counterpart. The context bounds the whole
+// exchange (dial, send and receive); when it carries no deadline,
+// DefaultFetchTimeout applies. Cancellation surfaces as ctx.Err().
+func Fetch(ctx context.Context, tr Transport, url string, request []byte) ([]byte, error) {
 	if tr == nil {
 		tr = TCPTransport{}
 	}
-	if timeout <= 0 {
-		timeout = 30 * time.Second
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultFetchTimeout)
+		defer cancel()
 	}
 	ep, err := ParseEndpoint(url)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := tr.Dial(ep.Addr())
+	conn, err := tr.DialContext(ctx, ep.Addr())
 	if err != nil {
-		return nil, fmt.Errorf("medici: fetch dial %s: %w", ep.Addr(), err)
+		return nil, fmt.Errorf("medici: fetch dial %s: %w", ep.Addr(), ctxIOErr(ctx, err))
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, err
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, err
+		}
 	}
+	stop := cancelOnDone(ctx, conn)
+	defer stop()
 	var frame LengthPrefixProtocol
 	if err := frame.WriteMessage(conn, request); err != nil {
-		return nil, fmt.Errorf("medici: fetch send: %w", err)
+		return nil, fmt.Errorf("medici: fetch send: %w", ctxIOErr(ctx, err))
 	}
 	reply, err := frame.ReadMessage(conn)
 	if err != nil {
-		return nil, fmt.Errorf("medici: fetch receive: %w", err)
+		return nil, fmt.Errorf("medici: fetch receive: %w", ctxIOErr(ctx, err))
 	}
 	if len(reply) == 0 {
 		return nil, fmt.Errorf("medici: fetch: empty reply frame")

@@ -2,6 +2,7 @@ package medici
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,7 +19,9 @@ func TestFetchRoundTrip(t *testing.T) {
 	}
 	defer srv.Close()
 
-	reply, err := Fetch(nil, srv.URL(), []byte("bus-voltages"), time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	reply, err := Fetch(ctx, nil, srv.URL(), []byte("bus-voltages"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +38,9 @@ func TestFetchEmptyReplyBody(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	reply, err := Fetch(nil, srv.URL(), []byte("x"), time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	reply, err := Fetch(ctx, nil, srv.URL(), []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +57,9 @@ func TestFetchRemoteError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	_, err = Fetch(nil, srv.URL(), []byte("nothing"), time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err = Fetch(ctx, nil, srv.URL(), []byte("nothing"))
 	if !errors.Is(err, ErrRemote) {
 		t.Fatalf("err = %v, want ErrRemote", err)
 	}
@@ -72,7 +79,9 @@ func TestFetchConcurrent(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			req := []byte(fmt.Sprintf("req-%d", i))
-			reply, err := Fetch(nil, srv.URL(), req, 2*time.Second)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			reply, err := Fetch(ctx, nil, srv.URL(), req)
 			if err != nil {
 				t.Errorf("fetch %d: %v", i, err)
 				return
@@ -92,7 +101,9 @@ func TestFetchDeadServer(t *testing.T) {
 	}
 	url := srv.URL()
 	srv.Close()
-	if _, err := Fetch(nil, url, []byte("x"), 300*time.Millisecond); err == nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := Fetch(ctx, nil, url, []byte("x")); err == nil {
 		t.Fatal("fetch from closed server succeeded")
 	}
 }
@@ -113,5 +124,58 @@ func TestDataServerDoubleClose(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal("second close errored")
+	}
+}
+
+func TestFetchDeadlineExpiry(t *testing.T) {
+	// A handler that never finishes: the fetch must give up when the
+	// context deadline passes and report context.DeadlineExceeded.
+	block := make(chan struct{})
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func([]byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block) // release the handler before Close waits on it
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = Fetch(ctx, nil, srv.URL(), []byte("slow"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fetch took %v after a 100ms deadline", elapsed)
+	}
+}
+
+func TestFetchCancelUnblocks(t *testing.T) {
+	block := make(chan struct{})
+	srv, err := NewDataServer(nil, "127.0.0.1:0", func([]byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block) // release the handler before Close waits on it
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Fetch(ctx, nil, srv.URL(), []byte("slow"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fetch took %v to honor cancellation", elapsed)
 	}
 }

@@ -6,6 +6,7 @@
 package scada
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,8 +93,9 @@ func driftState(n *grid.Network, st *powerflow.State, sigma float64, seed int64)
 
 // Stream emits frames on a channel, pacing them at the feed cycle scaled by
 // speedup (e.g. 100 = 100x faster than real time; <=0 = no pacing). It
-// stops after count frames or when stop is closed, then closes the output.
-func (f *Feed) Stream(count int, speedup float64, stop <-chan struct{}) <-chan Frame {
+// stops after count frames or when ctx is canceled — even mid-pacing-delay
+// — then closes the output.
+func (f *Feed) Stream(ctx context.Context, count int, speedup float64) <-chan Frame {
 	out := make(chan Frame, 1)
 	go func() {
 		defer close(out)
@@ -103,11 +105,17 @@ func (f *Feed) Stream(count int, speedup float64, stop <-chan struct{}) <-chan F
 				return
 			}
 			if speedup > 0 {
-				time.Sleep(time.Duration(float64(f.Cycle) / speedup))
+				t := time.NewTimer(time.Duration(float64(f.Cycle) / speedup))
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return
+				}
 			}
 			select {
 			case out <- fr:
-			case <-stop:
+			case <-ctx.Done():
 				return
 			}
 		}

@@ -1,6 +1,7 @@
 package scada
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -129,8 +130,7 @@ func TestFeedDriftMovesTruth(t *testing.T) {
 func TestStreamDeliversAndStops(t *testing.T) {
 	n, truth, plan := setup(t)
 	f := NewSCADAFeed(n, truth, plan, 5)
-	stop := make(chan struct{})
-	ch := f.Stream(3, 0, stop)
+	ch := f.Stream(context.Background(), 3, 0)
 	count := 0
 	for range ch {
 		count++
@@ -140,10 +140,10 @@ func TestStreamDeliversAndStops(t *testing.T) {
 	}
 
 	f2 := NewSCADAFeed(n, truth, plan, 5)
-	stop2 := make(chan struct{})
-	ch2 := f2.Stream(1000, 0, stop2)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch2 := f2.Stream(ctx, 1000, 0)
 	<-ch2
-	close(stop2)
+	cancel()
 	// Channel must terminate shortly after stop.
 	deadline := time.After(2 * time.Second)
 	for {

@@ -11,6 +11,7 @@
 package wls
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -100,12 +101,21 @@ var ErrNotConverged = errors.New("wls: estimator did not converge")
 // ErrUnobservable reports a rank-deficient (unobservable) measurement set.
 var ErrUnobservable = errors.New("wls: network unobservable with given measurements")
 
-// Estimate runs Gauss–Newton WLS estimation on the measurement model.
+// Estimate runs Gauss–Newton WLS estimation on the measurement model. It
+// is the uncancellable convenience form of EstimateCtx.
 func Estimate(mod *meas.Model, opts Options) (*Result, error) {
+	return EstimateCtx(context.Background(), mod, opts)
+}
+
+// EstimateCtx runs Gauss–Newton WLS estimation on the measurement model.
+// Cancellation is checked at the top of every Gauss–Newton iteration, so
+// an expired or canceled context aborts the solve with ctx.Err() instead
+// of finishing the current estimation.
+func EstimateCtx(ctx context.Context, mod *meas.Model, opts Options) (*Result, error) {
 	if opts.X0 != nil && len(opts.X0) != mod.NState() {
 		return nil, fmt.Errorf("wls: warm start length %d != state dim %d", len(opts.X0), mod.NState())
 	}
-	return estimateWeighted(mod, opts, nil)
+	return estimateWeighted(ctx, mod, opts, nil)
 }
 
 // solveGain dispatches the gain-matrix linear solve.

@@ -1,6 +1,7 @@
 package wls
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -64,7 +65,7 @@ func EstimateRobust(mod *meas.Model, opts RobustOptions) (*RobustResult, error) 
 	var prev []float64
 	out := &RobustResult{}
 	for round := 0; round < maxRounds; round++ {
-		res, err := estimateWeighted(mod, opts.Inner, scale)
+		res, err := estimateWeighted(context.Background(), mod, opts.Inner, scale)
 		if err != nil {
 			return nil, fmt.Errorf("wls: robust round %d: %w", round, err)
 		}
@@ -108,7 +109,7 @@ func EstimateRobust(mod *meas.Model, opts RobustOptions) (*RobustResult, error) 
 // estimateWeighted is the Gauss–Newton core shared by Estimate and the
 // robust estimator: per-measurement weight scaling (nil = all ones) is
 // applied on top of the 1/σ² base weights.
-func estimateWeighted(mod *meas.Model, opts Options, scale []float64) (*Result, error) {
+func estimateWeighted(ctx context.Context, mod *meas.Model, opts Options, scale []float64) (*Result, error) {
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = 1e-6
@@ -146,6 +147,9 @@ func estimateWeighted(mod *meas.Model, opts Options, scale []float64) (*Result, 
 	res := &Result{}
 	r := make([]float64, mod.NMeas())
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("wls: canceled at iteration %d: %w", iter, err)
+		}
 		h := mod.Eval(x)
 		sparse.Sub(r, z, h)
 		hj := mod.Jacobian(x)
