@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// record, so the performance trajectory of the repo can be committed and
+// diffed across PRs (BENCH_1.json, BENCH_2.json, ...).
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 | go run ./cmd/benchjson -o BENCH_1.json
+//	go run ./cmd/benchjson -o BENCH_1.json bench.txt
+//
+// Repeated runs of the same benchmark (from -count N) are aggregated: the
+// JSON records the minimum ns/op (the least-noise estimate of the true
+// cost), the minimum B/op and allocs/op (deterministic for a given build,
+// so min discards measurement artifacts), the mean of every b.ReportMetric
+// value, and the run count.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is the aggregated record of one benchmark.
+type Entry struct {
+	Runs        int                `json:"runs"`
+	Iterations  int                `json:"iterations"` // b.N of the last run
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	sums   map[string]float64
+	counts map[string]int
+}
+
+func main() {
+	out := flag.String("o", "BENCH_1.json", "output JSON file ('-' for stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	entries, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	for _, e := range entries {
+		if len(e.sums) == 0 {
+			continue
+		}
+		e.Metrics = make(map[string]float64, len(e.sums))
+		for k, s := range e.sums {
+			e.Metrics[k] = s / float64(e.counts[k])
+		}
+	}
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(names), *out)
+}
+
+// parse scans go-test bench output. A benchmark line looks like
+//
+//	BenchmarkName-8  100  11059579 ns/op  52428 B/op  100 allocs/op  7.00 cg-iters
+//
+// i.e. name, iteration count, then value/unit pairs. Non-benchmark lines
+// (ok/PASS/log output) are ignored. Names are kept verbatim (benchstat
+// convention): a trailing "-N" may be go test's GOMAXPROCS tag or a
+// sub-benchmark parameter (WECCScaleDSE/areas-12), and only the reader
+// can tell which.
+func parse(r io.Reader) (map[string]*Entry, error) {
+	entries := make(map[string]*Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		iters, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue // e.g. "BenchmarkFoo--- FAIL" noise
+		}
+		name := f[0]
+		e := entries[name]
+		if e == nil {
+			e = &Entry{sums: make(map[string]float64), counts: make(map[string]int)}
+			entries[name] = e
+		}
+		e.Runs++
+		e.Iterations = iters
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, f[i])
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				if e.Runs == 1 || v < e.NsPerOp {
+					e.NsPerOp = v
+				}
+			case "B/op":
+				if e.Runs == 1 || v < e.BytesPerOp {
+					e.BytesPerOp = v
+				}
+			case "allocs/op":
+				if e.Runs == 1 || v < e.AllocsPerOp {
+					e.AllocsPerOp = v
+				}
+			default:
+				e.sums[unit] += v
+				e.counts[unit]++
+			}
+		}
+	}
+	return entries, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

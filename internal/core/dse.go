@@ -38,6 +38,48 @@ type DSEOptions struct {
 	RestoreObservability bool
 	// RestoreSigma is the pseudo-measurement sigma for restoration.
 	RestoreSigma float64
+	// Cache, when non-nil, persists per-subsystem solver engines across
+	// RunDSE calls, so successive frames over an unchanged topology reuse
+	// the symbolic Jacobian/gain plans (the Tracker supplies one
+	// automatically). A nil Cache still gets a per-run cache, which lets
+	// Step-2 rounds within the run share plans.
+	Cache *DSECache
+}
+
+// DSECache holds the per-subsystem WLS solver engines of a DSE run. The
+// engines embody the symbolic sparsity work (Jacobian plan, gain scatter
+// plan, preconditioner pattern), which depends only on the decomposition
+// and metering layout — not on measurement values — so a cache can serve
+// every frame of a tracking session. Subsystem slots are only accessed by
+// that subsystem's goroutine, which keeps concurrent Step-1/Step-2 use safe.
+type DSECache struct {
+	step1, step2 []*wls.Engine
+}
+
+// ensure sizes the cache for m subsystems, dropping stale engines if the
+// decomposition size changed.
+func (c *DSECache) ensure(m int) {
+	if len(c.step1) != m {
+		c.step1 = make([]*wls.Engine, m)
+	}
+	if len(c.step2) != m {
+		c.step2 = make([]*wls.Engine, m)
+	}
+}
+
+// engineFor returns the cached engine for a subsystem slot rebound to mod,
+// or builds and caches a fresh one when the model's structure changed.
+func (c *DSECache) engineFor(step2 bool, si int, mod *meas.Model) *wls.Engine {
+	slot := c.step1
+	if step2 {
+		slot = c.step2
+	}
+	if e := slot[si]; e != nil && e.Rebind(mod) == nil {
+		return e
+	}
+	e := wls.NewEngine(mod)
+	slot[si] = e
+	return e
 }
 
 // StepStats reports one DSE phase.
@@ -86,11 +128,16 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 		Step1: make([]*wls.Result, m),
 		Step2: make([]*wls.Result, m),
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = &DSECache{}
+	}
+	cache.ensure(m)
 
 	// DSE Step 1: local estimation per subsystem.
 	probs1 := make([]*Subproblem, m)
 	start := time.Now()
-	err := forEachSubsystem(ctx, m, opts.Sequential, func(ctx context.Context, si int) error {
+	err := forEachSubsystem(ctx, "step 1", m, opts.Sequential, func(ctx context.Context, si int) error {
 		sp, err := d.BuildStep1(si, global)
 		if err != nil {
 			return err
@@ -104,7 +151,7 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 		if opts.WarmStart != nil && si < len(opts.WarmStart) && opts.WarmStart[si] != nil {
 			wlsOpts.X0 = opts.WarmStart[si]
 		}
-		r, err := wls.EstimateCtx(ctx, sp.Model, wlsOpts)
+		r, err := cache.engineFor(false, si, sp.Model).EstimateCtx(ctx, wlsOpts)
 		if err != nil {
 			return fmt.Errorf("core: step 1 subsystem %d: %w", si, err)
 		}
@@ -148,7 +195,7 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 			res.ExchangeBytes += sz * len(nbrs)
 			res.ExchangeMessages += len(nbrs)
 		}
-		err := forEachSubsystem(ctx, m, opts.Sequential, func(ctx context.Context, si int) error {
+		err := forEachSubsystem(ctx, "step 2", m, opts.Sequential, func(ctx context.Context, si int) error {
 			var incoming []PseudoPacket
 			for _, nb := range d.Neighbors(si) {
 				incoming = append(incoming, packets[nb])
@@ -158,7 +205,7 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 				return err
 			}
 			wlsOpts := opts.WLS
-			r, err := wls.EstimateCtx(ctx, sp.Model, wlsOpts)
+			r, err := cache.engineFor(true, si, sp.Model).EstimateCtx(ctx, wlsOpts)
 			if err != nil {
 				return fmt.Errorf("core: step 2 subsystem %d: %w", si, err)
 			}
@@ -229,11 +276,12 @@ func restoreSubproblem(sp *Subproblem, sigma float64) error {
 // forEachSubsystem runs f for every subsystem, concurrently unless
 // sequential. The first error cancels the context handed to every other
 // subsystem (fail-fast); errors collected before the stop are joined.
-func forEachSubsystem(ctx context.Context, m int, sequential bool, f func(ctx context.Context, si int) error) error {
+// phase names the DSE phase in cancellation errors.
+func forEachSubsystem(ctx context.Context, phase string, m int, sequential bool, f func(ctx context.Context, si int) error) error {
 	if sequential {
 		for si := 0; si < m; si++ {
 			if err := ctx.Err(); err != nil {
-				return err
+				return fmt.Errorf("core: %s: canceled before subsystem %d: %w", phase, si, err)
 			}
 			if err := f(ctx, si); err != nil {
 				return err
@@ -258,7 +306,17 @@ func forEachSubsystem(ctx context.Context, m int, sequential bool, f func(ctx co
 		}(si)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	// No subsystem recorded an error, yet the context may have been
+	// canceled by the parent before some goroutines started their work —
+	// their result slots are then silently empty, so the phase must not be
+	// treated as complete.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s: canceled before all subsystems completed: %w", phase, err)
+	}
+	return nil
 }
 
 func statsOf(results []*wls.Result, d time.Duration) StepStats {

@@ -70,7 +70,7 @@ func RunHierarchical(ctx context.Context, d *Decomposition, global []meas.Measur
 
 	res := &HierarchicalResult{Local: make([]*wls.Result, m)}
 	probs := make([]*Subproblem, m)
-	err = runOnSites(ctx, tb, mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
+	err = runOnSites(ctx, "local estimation", tb, mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		sp, err := d.BuildStep1(si, global)
 		if err != nil {
 			return err

@@ -176,7 +176,7 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	defer source.Close()
 	var wireMu sync.Mutex
 	acqCtx, acqCancel := opts.phaseContext(ctx)
-	err = runOnSites(acqCtx, tb, res.Step1Mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
+	err = runOnSites(acqCtx, "acquire", tb, res.Step1Mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		payload, err := medici.Fetch(ctx, opts.Transport, source.URL(), []byte(fmt.Sprintf("sub:%d", si)))
 		if err != nil {
 			return fmt.Errorf("core: site %s acquiring subsystem %d data: %w", site.Name, si, err)
@@ -196,7 +196,7 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	// --- DSE Step 1 on the sites. ---
 	start = time.Now()
 	step1Ctx, step1Cancel := opts.phaseContext(ctx)
-	err = runOnSites(step1Ctx, tb, res.Step1Mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
+	err = runOnSites(step1Ctx, "step 1", tb, res.Step1Mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		sp := probs1[si]
 		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
 		if out[0].Err != nil {
@@ -311,7 +311,7 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	probs2 := make([]*Subproblem, m)
 	start = time.Now()
 	step2Ctx, step2Cancel := opts.phaseContext(ctx)
-	err = runOnSites(step2Ctx, tb, assign, func(ctx context.Context, si int, site *cluster.Site) error {
+	err = runOnSites(step2Ctx, "step 2", tb, assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		sp, err := d.BuildStep2(si, global, incoming[si], opts.DSE.PseudoSigma)
 		if err != nil {
 			return err
@@ -348,7 +348,8 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 // error cancels the context passed to every other site's fn, so siblings
 // stop at their next cancellation point instead of running to completion.
 // All errors collected before the stop are reported via errors.Join.
-func runOnSites(ctx context.Context, tb *cluster.Testbed, assign []int, fn func(ctx context.Context, si int, site *cluster.Site) error) error {
+// phase names the run phase in cancellation errors.
+func runOnSites(ctx context.Context, phase string, tb *cluster.Testbed, assign []int, fn func(ctx context.Context, si int, site *cluster.Site) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	perSite := make([][]int, len(tb.Sites))
@@ -374,7 +375,16 @@ func runOnSites(ctx context.Context, tb *cluster.Testbed, assign []int, fn func(
 		}(c)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	// All sites finished cleanly, but a parent cancellation may have made
+	// them skip jobs without recording an error — the phase's result slots
+	// would be silently empty, so surface the cancellation.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s: canceled before all sites completed: %w", phase, err)
+	}
+	return nil
 }
 
 func sendEnvelope(ctx context.Context, from *cluster.Site, toName string, env Envelope) error {

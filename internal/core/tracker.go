@@ -16,6 +16,10 @@ type Tracker struct {
 	Opts DSEOptions
 
 	warm [][]float64
+	// cache keeps the per-subsystem solver engines alive across frames, so
+	// the symbolic Jacobian/gain plans are built once for the whole
+	// tracking session rather than once per frame.
+	cache *DSECache
 	// Frames counts processed frames.
 	Frames int
 }
@@ -38,6 +42,12 @@ func (t *Tracker) Process(frame []meas.Measurement) (*DSEResult, error) {
 func (t *Tracker) Step(ctx context.Context, frame []meas.Measurement) (*DSEResult, error) {
 	opts := t.Opts
 	opts.WarmStart = t.warm
+	if opts.Cache == nil {
+		if t.cache == nil {
+			t.cache = &DSECache{}
+		}
+		opts.Cache = t.cache
+	}
 	res, err := RunDSE(ctx, t.Dec, frame, opts)
 	if err != nil {
 		return nil, err
@@ -58,5 +68,6 @@ func (t *Tracker) Step(ctx context.Context, frame []meas.Measurement) (*DSEResul
 // the old state vectors no longer match the subproblem layout).
 func (t *Tracker) Reset() {
 	t.warm = nil
+	t.cache = nil
 	t.Frames = 0
 }

@@ -1,0 +1,147 @@
+package meas
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// JacobianPlan is the symbolic half of the measurement Jacobian H(x). The
+// sparsity pattern of H is fixed by the network topology and measurement
+// set, not by the state, so a plan built once per model lets every
+// Gauss-Newton iteration rewrite only H.Val in place — no COO triplets, no
+// sorting, no allocation.
+//
+// The plan's pattern is the structural pattern of H: entries whose
+// derivative happens to vanish at some state are stored as explicit zeros
+// rather than dropped, matching Model.Jacobian. A refreshed H is therefore
+// bitwise-identical to a fresh Jacobian(x), because both paths run the same
+// jacCore emission over the same pattern.
+type JacobianPlan struct {
+	mod *Model
+
+	// H is the Jacobian skeleton; Refresh rewrites H.Val in place. Callers
+	// must treat it as read-only and valid until the next Refresh.
+	H *sparse.CSR
+
+	// slots maps jacCore emission order to H.Val positions: the k-th entry
+	// surviving the reference-angle filter lands at H.Val[slots[k]].
+	slots []int32
+
+	// Scratch owned by the plan so Refresh and EvalInto allocate nothing.
+	vm, va, pc, qc []float64
+
+	// cursor walks slots during a refresh; the closures are built once at
+	// plan construction so a refresh allocates no closure objects.
+	cursor             int
+	refreshA, refreshV func(row, bus int, v float64)
+}
+
+// NewJacobianPlan builds the symbolic Jacobian plan: one pass of jacCore
+// with emission-index tags instead of values fixes the pattern and the slot
+// map. The plan stays valid for the model's lifetime (topology and
+// measurement locations are immutable after NewModel).
+func (mod *Model) NewJacobianPlan() *JacobianPlan {
+	nb := mod.Net.N()
+	pl := &JacobianPlan{
+		mod: mod,
+		vm:  make([]float64, nb),
+		va:  make([]float64, nb),
+	}
+	if mod.needInj {
+		pl.pc = make([]float64, nb)
+		pl.qc = make([]float64, nb)
+	}
+
+	// Symbolic pass: emit every structural entry carrying its emission index
+	// as the value, so the COO→CSR conversion reveals where each emission
+	// lands in the sorted Val array. Entry values are irrelevant to the
+	// pattern; a flat-start state keeps jacCore's arithmetic well-defined.
+	for i := range pl.vm {
+		pl.vm[i] = 1
+	}
+	coo := sparse.NewCOO(len(mod.Meas), mod.NState())
+	tag := 0
+	mod.jacCore(pl.vm, pl.va, pl.pc, pl.qc,
+		func(row, bus int, v float64) {
+			if p := mod.angPos[bus]; p >= 0 {
+				coo.Add(row, p, float64(tag))
+				tag++
+			}
+		},
+		func(row, bus int, v float64) {
+			coo.Add(row, mod.nAngles+bus, float64(tag))
+			tag++
+		})
+	h := coo.ToCSR()
+	if h.NNZ() != tag {
+		// A duplicate (row, col) emission would have summed two tags and
+		// silently corrupted the slot map.
+		panic(fmt.Sprintf("meas: JacobianPlan found %d entries for %d emissions (duplicate pattern entry)", h.NNZ(), tag))
+	}
+	pl.slots = make([]int32, tag)
+	for pos, v := range h.Val {
+		pl.slots[int(v)] = int32(pos)
+	}
+	for i := range h.Val {
+		h.Val[i] = 0
+	}
+	pl.H = h
+
+	pl.refreshA = func(row, bus int, v float64) {
+		if mod.angPos[bus] >= 0 {
+			pl.H.Val[pl.slots[pl.cursor]] = v
+			pl.cursor++
+		}
+	}
+	pl.refreshV = func(row, bus int, v float64) {
+		pl.H.Val[pl.slots[pl.cursor]] = v
+		pl.cursor++
+	}
+	return pl
+}
+
+// Rebind points the plan at a structurally identical model (same network
+// admittances and measurement set up to values), so a rebuilt model — a
+// fresh telemetry frame, a re-assembled DSE subproblem — keeps reusing the
+// symbolic work. It fails without touching the plan if the structures
+// differ.
+func (pl *JacobianPlan) Rebind(mod *Model) error {
+	if mod == pl.mod {
+		return nil
+	}
+	if !pl.mod.SameStructure(mod) {
+		return fmt.Errorf("meas: JacobianPlan rebind to structurally different model")
+	}
+	pl.mod = mod
+	return nil
+}
+
+// Refresh recomputes H(x) numerically into the plan's skeleton without
+// allocating, and returns it. Shared entries are bitwise-identical to a
+// fresh Model.Jacobian(x); entries the legacy assembly would drop for being
+// exactly zero are stored as explicit zeros.
+func (pl *JacobianPlan) Refresh(x []float64) *sparse.CSR {
+	mod := pl.mod
+	mod.unpackState(x, pl.vm, pl.va)
+	if mod.needInj {
+		calcInj(mod.y, pl.vm, pl.va, pl.pc, pl.qc)
+	}
+	pl.cursor = 0
+	mod.jacCore(pl.vm, pl.va, pl.pc, pl.qc, pl.refreshA, pl.refreshV)
+	return pl.H
+}
+
+// EvalInto computes h(x) into the caller-owned buffer h (length NMeas)
+// without allocating, bitwise-identical to Model.Eval(x).
+func (pl *JacobianPlan) EvalInto(h, x []float64) {
+	mod := pl.mod
+	if len(h) != len(mod.Meas) {
+		panic(fmt.Sprintf("meas: EvalInto buffer length %d != %d measurements", len(h), len(mod.Meas)))
+	}
+	mod.unpackState(x, pl.vm, pl.va)
+	if mod.needInj {
+		calcInj(mod.y, pl.vm, pl.va, pl.pc, pl.qc)
+	}
+	mod.evalCore(pl.vm, pl.va, pl.pc, pl.qc, h)
+}

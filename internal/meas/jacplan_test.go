@@ -1,0 +1,152 @@
+package meas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/powerflow"
+	"repro/internal/sparse"
+)
+
+// requireBitwiseJacobian checks that the plan's refreshed H matches a fresh
+// Jacobian(x) bitwise at every shared entry, and that plan-only entries
+// (structural positions the legacy assembly dropped for being exactly zero)
+// are exact zeros.
+func requireBitwiseJacobian(t *testing.T, plan, fresh *sparse.CSR, x []float64) {
+	t.Helper()
+	if plan.Rows != fresh.Rows || plan.Cols != fresh.Cols {
+		t.Fatalf("dims: plan %dx%d fresh %dx%d", plan.Rows, plan.Cols, fresh.Rows, fresh.Cols)
+	}
+	for i := 0; i < plan.Rows; i++ {
+		fk := fresh.RowPtr[i]
+		for pk := plan.RowPtr[i]; pk < plan.RowPtr[i+1]; pk++ {
+			col, v := plan.ColIdx[pk], plan.Val[pk]
+			if fk < fresh.RowPtr[i+1] && fresh.ColIdx[fk] == col {
+				if math.Float64bits(v) != math.Float64bits(fresh.Val[fk]) {
+					t.Fatalf("row %d col %d: plan %v (%#x) != fresh %v (%#x)",
+						i, col, v, math.Float64bits(v), fresh.Val[fk], math.Float64bits(fresh.Val[fk]))
+				}
+				fk++
+			} else if v != 0 {
+				t.Fatalf("row %d col %d: plan-only entry %v, want exact zero", i, col, v)
+			}
+		}
+		if fk != fresh.RowPtr[i+1] {
+			t.Fatalf("row %d: fresh Jacobian has entries missing from plan pattern", i)
+		}
+	}
+}
+
+func TestJacobianPlanBitwiseParity(t *testing.T) {
+	n, truth := solvedCase14(t)
+	mod := fullModel(t, n, truth)
+	pl := mod.NewJacobianPlan()
+	rng := rand.New(rand.NewSource(7))
+
+	x0 := mod.StateToVec(truth)
+	for trial := 0; trial < 25; trial++ {
+		x := make([]float64, len(x0))
+		copy(x, x0)
+		if trial > 0 {
+			for i := range x {
+				x[i] += 0.2 * (rng.Float64() - 0.5)
+			}
+		}
+		requireBitwiseJacobian(t, pl.Refresh(x), mod.Jacobian(x), x)
+
+		h := make([]float64, mod.NMeas())
+		pl.EvalInto(h, x)
+		for i, v := range mod.Eval(x) {
+			if math.Float64bits(h[i]) != math.Float64bits(v) {
+				t.Fatalf("trial %d: EvalInto[%d]=%v != Eval=%v", trial, i, h[i], v)
+			}
+		}
+	}
+}
+
+func TestJacobianPlanLargerNetworkParity(t *testing.T) {
+	n := grid.Case118()
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("powerflow: %v", err)
+	}
+	res := pf.State
+	ms, err := Simulate(n, RTUPlan(3).Build(n), res, 0.01, 3)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	ref := n.SlackIndex()
+	mod, err := NewModel(n, ms, ref, res.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := mod.NewJacobianPlan()
+	rng := rand.New(rand.NewSource(11))
+	x := mod.StateToVec(res)
+	for trial := 0; trial < 5; trial++ {
+		requireBitwiseJacobian(t, pl.Refresh(x), mod.Jacobian(x), x)
+		for i := range x {
+			x[i] += 0.1 * (rng.Float64() - 0.5)
+		}
+	}
+}
+
+func TestJacobianPlanRefreshZeroAlloc(t *testing.T) {
+	n, truth := solvedCase14(t)
+	mod := fullModel(t, n, truth)
+	pl := mod.NewJacobianPlan()
+	x := mod.StateToVec(truth)
+	h := make([]float64, mod.NMeas())
+	pl.Refresh(x) // prime
+	pl.EvalInto(h, x)
+
+	if allocs := testing.AllocsPerRun(20, func() { pl.Refresh(x) }); allocs != 0 {
+		t.Fatalf("JacobianPlan.Refresh allocated %v times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { pl.EvalInto(h, x) }); allocs != 0 {
+		t.Fatalf("JacobianPlan.EvalInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestUpdateValuesAndSameStructure(t *testing.T) {
+	n, truth := solvedCase14(t)
+	mod := fullModel(t, n, truth)
+	other := fullModel(t, n, truth)
+	if !mod.SameStructure(other) {
+		t.Fatal("models from the same plan should share structure")
+	}
+
+	fresh := make([]Measurement, len(mod.Meas))
+	copy(fresh, other.Meas)
+	for i := range fresh {
+		fresh[i].Value += 0.5
+	}
+	if err := mod.UpdateValues(fresh); err != nil {
+		t.Fatalf("UpdateValues: %v", err)
+	}
+	for i := range mod.Meas {
+		if mod.Meas[i].Value != fresh[i].Value {
+			t.Fatalf("value %d not updated", i)
+		}
+	}
+
+	bad := make([]Measurement, len(fresh))
+	copy(bad, fresh)
+	bad[0].Sigma *= 2
+	if err := mod.UpdateValues(bad); err == nil {
+		t.Fatal("UpdateValues accepted a sigma change")
+	}
+	if err := mod.UpdateValues(fresh[:1]); err == nil {
+		t.Fatal("UpdateValues accepted a length change")
+	}
+
+	short, err := NewModel(n, mod.Meas[:len(mod.Meas)-1], n.SlackIndex(), truth.Va[n.SlackIndex()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.SameStructure(short) {
+		t.Fatal("SameStructure accepted differing measurement counts")
+	}
+}

@@ -83,6 +83,7 @@ type Model struct {
 	angPos   []int // internal bus index -> angle position in x, -1 for ref
 	nAngles  int
 	refAngle float64
+	needInj  bool // any Pinj/Qinj measurement present
 }
 
 // NewModel builds a measurement model. ref is the internal index of the
@@ -114,6 +115,12 @@ func NewModel(n *grid.Network, ms []Measurement, ref int, refAngle float64) (*Mo
 	mod := &Model{
 		Net: n, Meas: ms, y: grid.BuildYBus(n),
 		refBus: ref, refAngle: refAngle,
+	}
+	for _, m := range ms {
+		if m.Kind == Pinj || m.Kind == Qinj {
+			mod.needInj = true
+			break
+		}
 	}
 	mod.angPos = make([]int, n.N())
 	pos := 0
@@ -152,15 +159,22 @@ func (mod *Model) StateToVec(st powerflow.State) []float64 {
 func (mod *Model) VecToState(x []float64) powerflow.State {
 	nb := mod.Net.N()
 	st := powerflow.State{Vm: make([]float64, nb), Va: make([]float64, nb)}
+	mod.unpackState(x, st.Vm, st.Va)
+	return st
+}
+
+// unpackState writes the state vector into caller-owned vm/va buffers
+// (length Net.N()), restoring the reference angle. It is the allocation-free
+// core of VecToState used by the plan-based evaluation paths.
+func (mod *Model) unpackState(x, vm, va []float64) {
 	for i, p := range mod.angPos {
 		if p >= 0 {
-			st.Va[i] = x[p]
+			va[i] = x[p]
 		} else {
-			st.Va[i] = mod.refAngle
+			va[i] = mod.refAngle
 		}
 	}
-	copy(st.Vm, x[mod.nAngles:])
-	return st
+	copy(vm, x[mod.nAngles:])
 }
 
 // FlatVec returns the flat-start state vector (angles at the reference
@@ -202,27 +216,36 @@ func branchY(br grid.Branch) (gff, bff, gft, bft, gtf, btf, gtt, btt float64) {
 func (mod *Model) Eval(x []float64) []float64 {
 	st := mod.VecToState(x)
 	h := make([]float64, len(mod.Meas))
-	var p, q []float64 // lazily computed injections
+	var p, q []float64
+	if mod.needInj {
+		p = make([]float64, mod.Net.N())
+		q = make([]float64, mod.Net.N())
+		calcInj(mod.y, st.Vm, st.Va, p, q)
+	}
+	mod.evalCore(st.Vm, st.Va, p, q, h)
+	return h
+}
+
+// evalCore evaluates h(x) into h from unpacked state (vm, va) and, when the
+// measurement set includes injections, precomputed injections (pc, qc). It
+// allocates nothing; every evaluation path funnels through it so the
+// plan-based numeric refresh is bitwise-identical to a fresh Eval.
+func (mod *Model) evalCore(vm, va, pc, qc, h []float64) {
 	for mi, m := range mod.Meas {
 		switch m.Kind {
 		case Vmag:
-			h[mi] = st.Vm[mod.Net.MustIndex(m.Bus)]
+			h[mi] = vm[mod.Net.MustIndex(m.Bus)]
 		case Angle:
-			h[mi] = st.Va[mod.Net.MustIndex(m.Bus)]
+			h[mi] = va[mod.Net.MustIndex(m.Bus)]
 		case Pinj, Qinj:
-			if p == nil {
-				p = make([]float64, mod.Net.N())
-				q = make([]float64, mod.Net.N())
-				calcInj(mod.y, st.Vm, st.Va, p, q)
-			}
 			i := mod.Net.MustIndex(m.Bus)
 			if m.Kind == Pinj {
-				h[mi] = p[i]
+				h[mi] = pc[i]
 			} else {
-				h[mi] = q[i]
+				h[mi] = qc[i]
 			}
 		case Pflow, Qflow:
-			pf, qf := mod.flow(m, st)
+			pf, qf := mod.flow(m, vm, va)
 			if m.Kind == Pflow {
 				h[mi] = pf
 			} else {
@@ -230,11 +253,10 @@ func (mod *Model) Eval(x []float64) []float64 {
 			}
 		}
 	}
-	return h
 }
 
 // flow evaluates the complex power flow at one end of a branch.
-func (mod *Model) flow(m Measurement, st powerflow.State) (pf, qf float64) {
+func (mod *Model) flow(m Measurement, vm, va []float64) (pf, qf float64) {
 	br := mod.Net.Branches[m.Branch]
 	f := mod.Net.MustIndex(br.From)
 	t := mod.Net.MustIndex(br.To)
@@ -243,8 +265,8 @@ func (mod *Model) flow(m Measurement, st powerflow.State) (pf, qf float64) {
 		f, t = t, f
 		gff, bff, gft, bft = gtt, btt, gtf, btf
 	}
-	vf, vt := st.Vm[f], st.Vm[t]
-	th := st.Va[f] - st.Va[t]
+	vf, vt := vm[f], vm[t]
+	th := va[f] - va[t]
 	c, s := math.Cos(th), math.Sin(th)
 	pf = vf*vf*gff + vf*vt*(gft*c+bft*s)
 	qf = -vf*vf*bff + vf*vt*(gft*s-bft*c)
@@ -268,32 +290,39 @@ func calcInj(y *grid.YBus, vm, va, p, q []float64) {
 }
 
 // Jacobian assembles the sparse measurement Jacobian H(x) with one row per
-// measurement and one column per state variable.
+// measurement and one column per state variable. Structural entries whose
+// derivative is exactly zero at x are kept as explicit zeros, so the
+// pattern (and the floating-point contribution order of everything built
+// from it, like the gain matrix) is identical to a JacobianPlan refresh at
+// any state.
 func (mod *Model) Jacobian(x []float64) *sparse.CSR {
 	st := mod.VecToState(x)
-	nb := mod.Net.N()
 	coo := sparse.NewCOO(len(mod.Meas), mod.NState())
 	addA := func(row, bus int, v float64) { // d/dθ_bus
-		if p := mod.angPos[bus]; p >= 0 && v != 0 {
+		if p := mod.angPos[bus]; p >= 0 {
 			coo.Add(row, p, v)
 		}
 	}
 	addV := func(row, bus int, v float64) { // d/dV_bus
-		if v != 0 {
-			coo.Add(row, mod.nAngles+bus, v)
-		}
+		coo.Add(row, mod.nAngles+bus, v)
 	}
-
 	var pc, qc []float64
-	injections := func() ([]float64, []float64) {
-		if pc == nil {
-			pc = make([]float64, nb)
-			qc = make([]float64, nb)
-			calcInj(mod.y, st.Vm, st.Va, pc, qc)
-		}
-		return pc, qc
+	if mod.needInj {
+		pc = make([]float64, mod.Net.N())
+		qc = make([]float64, mod.Net.N())
+		calcInj(mod.y, st.Vm, st.Va, pc, qc)
 	}
+	mod.jacCore(st.Vm, st.Va, pc, qc, addA, addV)
+	return coo.ToCSR()
+}
 
+// jacCore emits every structural Jacobian entry for the state (vm, va) in a
+// fixed, deterministic order, calling addA for d/dθ entries and addV for
+// d/dV entries with the raw derivative value. Filtering (reference-angle
+// column, zero values) is the callbacks' business, which lets Jacobian,
+// the symbolic plan build, and the numeric refresh all share one code path
+// — the refresh is therefore bitwise-identical to a fresh assembly.
+func (mod *Model) jacCore(vm, va, pc, qc []float64, addA, addV func(row, bus int, v float64)) {
 	for mi, m := range mod.Meas {
 		switch m.Kind {
 		case Vmag:
@@ -301,33 +330,31 @@ func (mod *Model) Jacobian(x []float64) *sparse.CSR {
 		case Angle:
 			addA(mi, mod.Net.MustIndex(m.Bus), 1)
 		case Pinj:
-			p, q := injections()
 			i := mod.Net.MustIndex(m.Bus)
-			vi := st.Vm[i]
+			vi := vm[i]
 			mod.y.Row(i, func(k int, g, b float64) {
 				if k == i {
-					addA(mi, i, -q[i]-b*vi*vi)
-					addV(mi, i, p[i]/vi+g*vi)
+					addA(mi, i, -qc[i]-b*vi*vi)
+					addV(mi, i, pc[i]/vi+g*vi)
 					return
 				}
-				th := st.Va[i] - st.Va[k]
+				th := va[i] - va[k]
 				c, s := math.Cos(th), math.Sin(th)
-				addA(mi, k, vi*st.Vm[k]*(g*s-b*c))
+				addA(mi, k, vi*vm[k]*(g*s-b*c))
 				addV(mi, k, vi*(g*c+b*s))
 			})
 		case Qinj:
-			p, q := injections()
 			i := mod.Net.MustIndex(m.Bus)
-			vi := st.Vm[i]
+			vi := vm[i]
 			mod.y.Row(i, func(k int, g, b float64) {
 				if k == i {
-					addA(mi, i, p[i]-g*vi*vi)
-					addV(mi, i, q[i]/vi-b*vi)
+					addA(mi, i, pc[i]-g*vi*vi)
+					addV(mi, i, qc[i]/vi-b*vi)
 					return
 				}
-				th := st.Va[i] - st.Va[k]
+				th := va[i] - va[k]
 				c, s := math.Cos(th), math.Sin(th)
-				addA(mi, k, -vi*st.Vm[k]*(g*c+b*s))
+				addA(mi, k, -vi*vm[k]*(g*c+b*s))
 				addV(mi, k, vi*(g*s-b*c))
 			})
 		case Pflow, Qflow:
@@ -339,8 +366,8 @@ func (mod *Model) Jacobian(x []float64) *sparse.CSR {
 				f, t = t, f
 				gff, bff, gft, bft = gtt, btt, gtf, btf
 			}
-			vf, vt := st.Vm[f], st.Vm[t]
-			th := st.Va[f] - st.Va[t]
+			vf, vt := vm[f], vm[t]
+			th := va[f] - va[t]
 			c, s := math.Cos(th), math.Sin(th)
 			if m.Kind == Pflow {
 				// Pf = Vf²·gff + Vf·Vt·(gft·c + bft·s)
@@ -359,7 +386,6 @@ func (mod *Model) Jacobian(x []float64) *sparse.CSR {
 			}
 		}
 	}
-	return coo.ToCSR()
 }
 
 // Weights returns the WLS weight vector w_i = 1/σ_i².
@@ -369,4 +395,64 @@ func (mod *Model) Weights() []float64 {
 		w[i] = 1 / (m.Sigma * m.Sigma)
 	}
 	return w
+}
+
+// UpdateValues replaces the measurement values in place from a structurally
+// identical measurement set (same kinds, locations, and sigmas, in the same
+// order). It is how a streaming frame of fresh telemetry is folded into an
+// existing model without invalidating any symbolic solver plan built on it.
+func (mod *Model) UpdateValues(ms []Measurement) error {
+	if len(ms) != len(mod.Meas) {
+		return fmt.Errorf("meas: UpdateValues with %d measurements, model has %d", len(ms), len(mod.Meas))
+	}
+	for i, m := range ms {
+		o := mod.Meas[i]
+		if m.Kind != o.Kind || m.Bus != o.Bus || m.Branch != o.Branch ||
+			m.FromSide != o.FromSide || m.Sigma != o.Sigma {
+			return fmt.Errorf("meas: UpdateValues structure mismatch at measurement %d (%s vs %s)", i, m.Key(), o.Key())
+		}
+	}
+	for i, m := range ms {
+		mod.Meas[i].Value = m.Value
+	}
+	return nil
+}
+
+// SameStructure reports whether other has the same estimation structure as
+// mod — same network topology and the same measurement set up to values —
+// so that symbolic plans built on mod remain valid for other's problem.
+func (mod *Model) SameStructure(other *Model) bool {
+	if other == nil || mod.NState() != other.NState() || len(mod.Meas) != len(other.Meas) {
+		return false
+	}
+	if mod.refBus != other.refBus || mod.refAngle != other.refAngle {
+		return false
+	}
+	a, b := mod.Net, other.Net
+	if a.N() != b.N() || len(a.Branches) != len(b.Branches) || a.BaseMVA != b.BaseMVA {
+		return false
+	}
+	for i := range a.Buses {
+		// Gs/Bs enter the admittance matrix, so they are structural for the
+		// Jacobian values even though they don't affect the pattern.
+		if a.Buses[i].ID != b.Buses[i].ID ||
+			a.Buses[i].Gs != b.Buses[i].Gs || a.Buses[i].Bs != b.Buses[i].Bs {
+			return false
+		}
+	}
+	for i := range a.Branches {
+		ba, bb := a.Branches[i], b.Branches[i]
+		if ba.From != bb.From || ba.To != bb.To || ba.Status != bb.Status ||
+			ba.R != bb.R || ba.X != bb.X || ba.B != bb.B || ba.Tap != bb.Tap || ba.Shift != bb.Shift {
+			return false
+		}
+	}
+	for i := range mod.Meas {
+		m, o := mod.Meas[i], other.Meas[i]
+		if m.Kind != o.Kind || m.Bus != o.Bus || m.Branch != o.Branch ||
+			m.FromSide != o.FromSide || m.Sigma != o.Sigma {
+			return false
+		}
+	}
+	return true
 }

@@ -144,10 +144,35 @@ func (a *CSR) Diagonal() []float64 {
 		n = a.Cols
 	}
 	d := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d[i] = a.At(i, i)
-	}
+	a.DiagonalInto(d)
 	return d
+}
+
+// DiagonalInto writes the main diagonal into d (length min(Rows, Cols)),
+// walking each row directly instead of binary-searching per index. Missing
+// diagonal entries are written as 0. It allocates nothing, so numeric
+// refreshes (Jacobi/SSOR preconditioners) can call it per iteration.
+func (a *CSR) DiagonalInto(d []float64) {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	if len(d) != n {
+		panic(fmt.Sprintf("sparse: DiagonalInto length %d != %d", len(d), n))
+	}
+	for i := 0; i < n; i++ {
+		d[i] = 0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := a.ColIdx[k]
+			if c > i {
+				break // columns are sorted; the diagonal is not stored
+			}
+			if c == i {
+				d[i] = a.Val[k]
+				break
+			}
+		}
+	}
 }
 
 // Transpose returns Aᵀ as a new CSR matrix.

@@ -3,8 +3,16 @@ package sparse
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
+
+// parallelNNZThreshold is the matrix size (stored entries) below which the
+// parallel mat-vec paths fall back to the serial kernel: under it, the
+// fan-out/joins cost more than the multiply itself. The threshold is
+// nnz-based rather than row-based because per-row work varies wildly
+// between a near-diagonal gain matrix and a dense-ish one.
+const parallelNNZThreshold = 16384
 
 // MulVec computes y = A·x. y must have length A.Rows and x length A.Cols.
 func (a *CSR) MulVec(y, x []float64) {
@@ -20,7 +28,8 @@ func (a *CSR) MulVec(y, x []float64) {
 
 // MulVecParallel computes y = A·x splitting rows across workers goroutines.
 // workers <= 0 selects runtime.GOMAXPROCS(0). Rows are divided into
-// contiguous blocks so each worker writes a disjoint slice of y.
+// contiguous blocks of roughly equal nnz so each worker writes a disjoint
+// slice of y and carries a comparable share of the multiply work.
 func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 	a.checkMulDims(y, x)
 	if workers <= 0 {
@@ -29,27 +38,70 @@ func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 	if workers > a.Rows {
 		workers = a.Rows
 	}
-	if workers <= 1 || a.Rows < 256 {
+	if workers <= 1 || a.NNZ() < parallelNNZThreshold {
 		a.MulVec(y, x)
 		return
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * a.Rows / workers
-		hi := (w + 1) * a.Rows / workers
+		lo := a.rowBoundary(w, workers)
+		hi := a.rowBoundary(w+1, workers)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				sum := 0.0
-				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-					sum += a.Val[k] * x[a.ColIdx[k]]
-				}
-				y[i] = sum
-			}
+			a.mulVecRows(y, x, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// MulVecPool computes y = A·x on the persistent pool, rows partitioned into
+// contiguous nnz-balanced blocks. It allocates only the pool hand-off (no
+// goroutine spawns) and falls back to the serial kernel for small matrices
+// or a nil/single-worker pool.
+func (a *CSR) MulVecPool(y, x []float64, p *Pool) {
+	a.checkMulDims(y, x)
+	parts := p.Workers()
+	if parts > a.Rows {
+		parts = a.Rows
+	}
+	if parts <= 1 || a.NNZ() < parallelNNZThreshold {
+		a.MulVec(y, x)
+		return
+	}
+	p.Run(parts, func(w int) {
+		a.mulVecRows(y, x, a.rowBoundary(w, parts), a.rowBoundary(w+1, parts))
+	})
+}
+
+// mulVecRows is the row-range kernel shared by the parallel mat-vec paths.
+func (a *CSR) mulVecRows(y, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			sum += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// rowBoundary returns the first row of partition w when the matrix rows are
+// split into parts contiguous blocks of roughly equal nnz. It is a pure
+// function of (w, parts) so concurrent workers compute consistent, disjoint
+// [boundary(w), boundary(w+1)) ranges without shared state.
+func (a *CSR) rowBoundary(w, parts int) int {
+	if w <= 0 {
+		return 0
+	}
+	if w >= parts {
+		return a.Rows
+	}
+	target := a.NNZ() * w / parts
+	b := sort.SearchInts(a.RowPtr, target)
+	if b > a.Rows {
+		b = a.Rows
+	}
+	return b
 }
 
 // MulTransVec computes y = Aᵀ·x. y must have length A.Cols and x length A.Rows.
@@ -105,16 +157,23 @@ func Gain(h *CSR, w []float64) *CSR {
 // GainRHS computes g = Hᵀ·diag(w)·r, the right-hand side of the WLS normal
 // equations, into a freshly allocated vector of length H.Cols.
 func GainRHS(h *CSR, w, r []float64) []float64 {
-	if len(w) != h.Rows || len(r) != h.Rows {
-		panic("sparse: GainRHS dimension mismatch")
-	}
+	g := make([]float64, h.Cols)
 	wr := make([]float64, h.Rows)
+	GainRHSInto(g, h, w, r, wr)
+	return g
+}
+
+// GainRHSInto computes dst = Hᵀ·diag(w)·r without allocating: dst has
+// length H.Cols and wr is a caller-owned scratch vector of length H.Rows.
+// It is the per-iteration form used by the solver engine.
+func GainRHSInto(dst []float64, h *CSR, w, r, wr []float64) {
+	if len(w) != h.Rows || len(r) != h.Rows || len(wr) != h.Rows {
+		panic("sparse: GainRHSInto dimension mismatch")
+	}
 	for i := range wr {
 		wr[i] = w[i] * r[i]
 	}
-	g := make([]float64, h.Cols)
-	h.MulTransVec(g, wr)
-	return g
+	h.MulTransVec(dst, wr)
 }
 
 // SelectRows returns the submatrix of A formed by the given rows, in order.
@@ -141,7 +200,12 @@ func (a *CSR) SelectRows(rows []int) *CSR {
 // SelectCols returns the submatrix with only the given columns (renumbered
 // 0..len(cols)-1 in the given order). Rows keep their positions.
 func (a *CSR) SelectCols(cols []int) *CSR {
-	remap := make(map[int]int, len(cols))
+	// Dense remap slice: old column -> new column (or -1). A flat lookup
+	// per stored entry beats a map probe on the hot submatrix paths.
+	remap := make([]int, a.Cols)
+	for i := range remap {
+		remap[i] = -1
+	}
 	for newIdx, c := range cols {
 		if c < 0 || c >= a.Cols {
 			panic(fmt.Sprintf("sparse: SelectCols col %d out of range %d", c, a.Cols))
@@ -151,7 +215,7 @@ func (a *CSR) SelectCols(cols []int) *CSR {
 	coo := NewCOO(a.Rows, len(cols))
 	for i := 0; i < a.Rows; i++ {
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			if nc, ok := remap[a.ColIdx[k]]; ok {
+			if nc := remap[a.ColIdx[k]]; nc >= 0 {
 				coo.Add(i, nc, a.Val[k])
 			}
 		}

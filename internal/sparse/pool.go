@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for the parallel sparse kernels. It
+// replaces per-call goroutine spawning: the workers are started once and
+// then fed work items over a channel, so a hot loop (PCG mat-vecs, gain
+// refreshes) pays a channel hand-off instead of a goroutine spawn per call.
+//
+// A Pool is safe for concurrent use by multiple submitters; work items from
+// different Run calls interleave freely. Work functions must not themselves
+// call back into the same Pool (all workers could be busy waiting on the
+// nested call, deadlocking the pool).
+type Pool struct {
+	workers int
+	tasks   chan poolTask
+	once    sync.Once
+}
+
+type poolTask struct {
+	fn *poolRun
+	wg *sync.WaitGroup
+}
+
+// poolRun is the shared state of one Run call: workers claim part indices
+// from the counter until the range is exhausted. Sharing one allocation per
+// Run keeps the per-call overhead flat in the worker count.
+type poolRun struct {
+	next  atomic.Int64
+	parts int64
+	f     func(part int)
+}
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// selects runtime.GOMAXPROCS(0). The workers live until Close.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tasks: make(chan poolTask, 4*workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range p.tasks {
+				for {
+					i := t.fn.next.Add(1) - 1
+					if i >= t.fn.parts {
+						break
+					}
+					t.fn.f(int(i))
+				}
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run invokes f(part) for every part in [0, parts), distributing parts over
+// the pool's workers, and blocks until all parts complete. With a nil pool,
+// a single worker, or a single part, it runs inline on the caller.
+func (p *Pool) Run(parts int, f func(part int)) {
+	if p == nil || p.workers <= 1 || parts <= 1 {
+		for i := 0; i < parts; i++ {
+			f(i)
+		}
+		return
+	}
+	r := &poolRun{parts: int64(parts), f: f}
+	helpers := p.workers
+	if helpers > parts {
+		helpers = parts
+	}
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		p.tasks <- poolTask{fn: r, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close shuts the workers down. Run must not be called after Close.
+func (p *Pool) Close() { p.once.Do(func() { close(p.tasks) }) }
+
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// DefaultPool returns the process-wide shared pool, started on first use
+// with GOMAXPROCS workers. The solver engine uses it by default so that any
+// number of concurrent estimators (one per subsystem in a DSE run) share
+// one set of compute workers instead of each spawning their own.
+func DefaultPool() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}

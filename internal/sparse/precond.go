@@ -17,6 +17,14 @@ type Preconditioner interface {
 	Name() string
 }
 
+// Refresher is implemented by preconditioners that can refresh their
+// numeric content in place from a matrix whose values changed but whose
+// sparsity pattern did not — the per-iteration path of the solver engine,
+// which never re-allocates preconditioner storage on a fixed gain pattern.
+type Refresher interface {
+	Refresh(a *CSR) error
+}
+
 // IdentityPreconditioner is the no-op preconditioner (plain CG).
 type IdentityPreconditioner struct{}
 
@@ -37,15 +45,28 @@ type JacobiPreconditioner struct {
 // NewJacobi builds a Jacobi preconditioner from the diagonal of a. It
 // returns an error if any diagonal entry is zero or not finite.
 func NewJacobi(a *CSR) (*JacobiPreconditioner, error) {
-	d := a.Diagonal()
-	inv := make([]float64, len(d))
-	for i, v := range d {
-		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("sparse: jacobi: unusable diagonal entry %g at %d", v, i)
-		}
-		inv[i] = 1 / v
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
 	}
-	return &JacobiPreconditioner{invDiag: inv}, nil
+	p := &JacobiPreconditioner{invDiag: make([]float64, n)}
+	if err := p.Refresh(a); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Refresh implements Refresher: it recomputes the inverse diagonal in place
+// (no allocation) from a matrix with the same dimension.
+func (p *JacobiPreconditioner) Refresh(a *CSR) error {
+	a.DiagonalInto(p.invDiag)
+	for i, v := range p.invDiag {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sparse: jacobi: unusable diagonal entry %g at %d", v, i)
+		}
+		p.invDiag[i] = 1 / v
+	}
+	return nil
 }
 
 // Apply implements Preconditioner.
@@ -67,6 +88,7 @@ type IC0Preconditioner struct {
 	colIdx []int
 	val    []float64
 	diag   []int // position of the diagonal entry in each row of L
+	colPos []int // factorization scratch: column -> entry index in row i
 }
 
 // ErrNotSPD reports that a factorization or solve encountered a
@@ -104,12 +126,48 @@ func NewIC0(a *CSR) (*IC0Preconditioner, error) {
 		}
 		p.diag[i] = hi - 1
 	}
-	// In-place IKJ incomplete factorization.
-	// colPos[j] maps column j -> entry index within the current row i.
-	colPos := make([]int, n)
-	for j := range colPos {
-		colPos[j] = -1
+	p.colPos = make([]int, n)
+	for j := range p.colPos {
+		p.colPos[j] = -1
 	}
+	if err := p.factorize(a); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Refresh implements Refresher: it re-extracts the lower triangle of a into
+// the existing factor storage and refactorizes in place. a must have the
+// sparsity pattern the preconditioner was built from.
+func (p *IC0Preconditioner) Refresh(a *CSR) error {
+	if a.Rows != p.n || a.Cols != p.n {
+		return fmt.Errorf("sparse: IC0 refresh with %dx%d matrix, built for %d", a.Rows, a.Cols, p.n)
+	}
+	idx := 0
+	for i := 0; i < p.n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] <= i {
+				if idx >= len(p.val) || p.colIdx[idx] != a.ColIdx[k] {
+					return fmt.Errorf("sparse: IC0 refresh with changed sparsity pattern at row %d", i)
+				}
+				p.val[idx] = a.Val[k]
+				idx++
+			}
+		}
+	}
+	if idx != len(p.val) {
+		return fmt.Errorf("sparse: IC0 refresh with changed sparsity pattern (%d != %d entries)", idx, len(p.val))
+	}
+	return p.factorize(a)
+}
+
+// factorize runs the in-place IKJ incomplete factorization over p.val,
+// which must hold the lower triangle of a. a is consulted only for the
+// breakdown-repair diagonal fallback.
+func (p *IC0Preconditioner) factorize(a *CSR) error {
+	n := p.n
+	// colPos[j] maps column j -> entry index within the current row i.
+	colPos := p.colPos
 	for i := 0; i < n; i++ {
 		lo, hi := p.rowPtr[i], p.rowPtr[i+1]
 		for k := lo; k < hi; k++ {
@@ -137,7 +195,10 @@ func NewIC0(a *CSR) (*IC0Preconditioner, error) {
 			// Breakdown repair: fall back to the (positive) original diagonal.
 			orig := a.At(i, i)
 			if orig <= 0 {
-				return nil, ErrNotSPD
+				for k := lo; k < hi; k++ {
+					colPos[p.colIdx[k]] = -1 // leave the scratch clean for a retry
+				}
+				return ErrNotSPD
 			}
 			sum = orig
 		}
@@ -146,7 +207,7 @@ func NewIC0(a *CSR) (*IC0Preconditioner, error) {
 			colPos[p.colIdx[k]] = -1
 		}
 	}
-	return p, nil
+	return nil
 }
 
 // Apply implements Preconditioner: z = (L·Lᵀ)⁻¹·r.
@@ -214,6 +275,38 @@ func NewSSOR(a *CSR, omega float64) (*SSORPreconditioner, error) {
 		n: a.Rows, omega: omega, a: a, diag: d,
 		scale: 2 - omega, lower: lower, upperT: lower,
 	}, nil
+}
+
+// Refresh implements Refresher: it rewrites the stored diagonal and strict
+// lower triangle in place from a matrix with the pattern the preconditioner
+// was built from.
+func (p *SSORPreconditioner) Refresh(a *CSR) error {
+	if a.Rows != p.n || a.Cols != p.n {
+		return fmt.Errorf("sparse: SSOR refresh with %dx%d matrix, built for %d", a.Rows, a.Cols, p.n)
+	}
+	a.DiagonalInto(p.diag)
+	for i, v := range p.diag {
+		if v <= 0 {
+			return fmt.Errorf("sparse: SSOR: non-positive diagonal %g at %d", v, i)
+		}
+	}
+	idx := 0
+	for i := 0; i < p.n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] < i {
+				if idx >= len(p.lower.Val) || p.lower.ColIdx[idx] != a.ColIdx[k] {
+					return fmt.Errorf("sparse: SSOR refresh with changed sparsity pattern at row %d", i)
+				}
+				p.lower.Val[idx] = a.Val[k]
+				idx++
+			}
+		}
+	}
+	if idx != len(p.lower.Val) {
+		return fmt.Errorf("sparse: SSOR refresh with changed sparsity pattern (%d != %d entries)", idx, len(p.lower.Val))
+	}
+	p.a = a
+	return nil
 }
 
 // Apply implements Preconditioner.

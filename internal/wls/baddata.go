@@ -42,6 +42,13 @@ func NormalizedResiduals(res *Result, mod *meas.Model) ([]float64, error) {
 	hj := mod.Jacobian(res.X)
 	w := mod.Weights()
 	g := sparse.Gain(hj, w)
+	return normalizedResiduals(res, mod, hj, g)
+}
+
+// normalizedResiduals is the covariance computation shared by the
+// standalone path (fresh H and G) and the engine path (plan-refreshed H
+// and G).
+func normalizedResiduals(res *Result, mod *meas.Model, hj, g *sparse.CSR) ([]float64, error) {
 	lu, err := sparse.Factor(g.ToDense())
 	if err != nil {
 		return nil, fmt.Errorf("wls: gain factorization for residual covariance: %w", err)
@@ -112,11 +119,14 @@ func IdentifyBadData(mod *meas.Model, opts Options, threshold float64, maxRemova
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := Estimate(sub, opts)
+		// One engine per working set: the estimation and the residual
+		// covariance share the same Jacobian and gain plans.
+		eng := NewEngine(sub)
+		res, err := eng.Estimate(opts)
 		if err != nil {
 			return removed, res, err
 		}
-		rn, err := NormalizedResiduals(res, sub)
+		rn, err := eng.NormalizedResiduals(res)
 		if err != nil {
 			return removed, res, err
 		}

@@ -97,16 +97,27 @@ func EstimateConstrained(mod *meas.Model, constraints []Constraint, opts Options
 		z[i] = m.Value
 	}
 
+	// Symbolic plans for both the measurement model and the constraint
+	// evaluator: the per-iteration KKT assembly refreshes numerics only.
+	jplan := mod.NewJacobianPlan()
+	gplan := sparse.NewGainPlan(jplan.H)
+	cplan := cmod.NewJacobianPlan()
+	pool := sparse.DefaultPool()
+	h := make([]float64, mod.NMeas())
+	rhs := make([]float64, n)
+	wr := make([]float64, mod.NMeas())
+	cval := make([]float64, nc)
+
 	out := &ConstrainedResult{Result: &Result{}}
 	r := make([]float64, mod.NMeas())
 	for iter := 0; iter < maxIter; iter++ {
-		h := mod.Eval(x)
+		jplan.EvalInto(h, x)
 		sparse.Sub(r, z, h)
-		hj := mod.Jacobian(x)
-		g := sparse.Gain(hj, w)
-		rhs := sparse.GainRHS(hj, w, r)
-		cval := cmod.Eval(x)
-		cj := cmod.Jacobian(x)
+		hj := jplan.Refresh(x)
+		g := gplan.RefreshPool(hj, w, pool)
+		sparse.GainRHSInto(rhs, hj, w, r, wr)
+		cplan.EvalInto(cval, x)
+		cj := cplan.Refresh(x)
 
 		// Assemble the (n+nc) × (n+nc) KKT system.
 		dim := n + nc
@@ -145,7 +156,7 @@ func EstimateConstrained(mod *meas.Model, constraints []Constraint, opts Options
 		}
 	}
 
-	h := mod.Eval(x)
+	jplan.EvalInto(h, x)
 	sparse.Sub(r, z, h)
 	out.X = x
 	out.State = mod.VecToState(x)
@@ -153,7 +164,8 @@ func EstimateConstrained(mod *meas.Model, constraints []Constraint, opts Options
 	for i := range r {
 		out.ObjectiveJ += w[i] * r[i] * r[i]
 	}
-	for _, cv := range cmod.Eval(x) {
+	cplan.EvalInto(cval, x)
+	for _, cv := range cval {
 		if a := absf(cv); a > out.MaxConstraintViolation {
 			out.MaxConstraintViolation = a
 		}

@@ -1,0 +1,329 @@
+package wls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/meas"
+	"repro/internal/sparse"
+)
+
+// Engine is a reusable WLS solver bound to one measurement-model structure.
+// Construction does the symbolic work once — the Jacobian sparsity plan,
+// the gain-matrix scatter plan, the CG workspace — so every subsequent
+// Gauss–Newton iteration only rewrites numeric values in place:
+//
+//   - H(x) is refreshed into a fixed CSR skeleton (meas.JacobianPlan),
+//   - G = HᵀWH is a flat multiply-accumulate over a precomputed scatter map
+//     (sparse.GainPlan), row-parallel on the persistent worker pool,
+//   - the preconditioner refreshes its numerics on G's fixed pattern,
+//   - CG reuses its iteration vectors and is warm-started with the previous
+//     iteration's Δx (discarded automatically if it would not help).
+//
+// One engine serves many solves: IRLS reweighting rounds, DSE Step-2
+// re-evaluation rounds, and successive tracking frames all reuse the same
+// plans via Rebind. An Engine is not safe for concurrent use.
+type Engine struct {
+	mod   *meas.Model
+	jplan *meas.JacobianPlan
+	gplan *sparse.GainPlan
+	pool  *sparse.Pool
+
+	// Persistent numeric buffers (m = measurements, n = states).
+	baseW, w, z, h, r, wr []float64 // length m
+	rhs, dx, prevDx       []float64 // length n
+	havePrevDx            bool
+	work                  *sparse.CGWorkspace
+
+	pre     sparse.Preconditioner
+	preKind PrecondKind
+	havePre bool
+}
+
+// NewEngine builds the symbolic plans and buffers for the model. The cost
+// is roughly one Jacobian assembly plus one gain assembly; it is amortized
+// from the second Gauss–Newton iteration on.
+func NewEngine(mod *meas.Model) *Engine {
+	m, n := mod.NMeas(), mod.NState()
+	e := &Engine{
+		mod:    mod,
+		jplan:  mod.NewJacobianPlan(),
+		pool:   sparse.DefaultPool(),
+		baseW:  mod.Weights(),
+		w:      make([]float64, m),
+		z:      make([]float64, m),
+		h:      make([]float64, m),
+		r:      make([]float64, m),
+		wr:     make([]float64, m),
+		rhs:    make([]float64, n),
+		dx:     make([]float64, n),
+		prevDx: make([]float64, n),
+		work:   sparse.NewCGWorkspace(n),
+	}
+	e.gplan = sparse.NewGainPlan(e.jplan.H)
+	return e
+}
+
+// Model returns the model the engine is currently bound to.
+func (e *Engine) Model() *meas.Model { return e.mod }
+
+// Rebind switches the engine to a structurally identical model (fresh
+// telemetry values, same network and metering layout), keeping all symbolic
+// plans. It fails without touching the engine if the structures differ.
+func (e *Engine) Rebind(mod *meas.Model) error {
+	if mod == e.mod {
+		return nil
+	}
+	if err := e.jplan.Rebind(mod); err != nil {
+		return err
+	}
+	e.mod = mod
+	for i, m := range mod.Meas {
+		e.baseW[i] = 1 / (m.Sigma * m.Sigma)
+	}
+	return nil
+}
+
+// Estimate runs Gauss–Newton WLS estimation, reusing the engine's plans.
+func (e *Engine) Estimate(opts Options) (*Result, error) {
+	return e.EstimateCtx(context.Background(), opts)
+}
+
+// EstimateCtx runs Gauss–Newton WLS estimation under a context, reusing the
+// engine's plans. Semantics match wls.EstimateCtx.
+func (e *Engine) EstimateCtx(ctx context.Context, opts Options) (*Result, error) {
+	if opts.X0 != nil && len(opts.X0) != e.mod.NState() {
+		return nil, fmt.Errorf("wls: warm start length %d != state dim %d", len(opts.X0), e.mod.NState())
+	}
+	return e.estimateWeighted(ctx, opts, nil)
+}
+
+// estimateWeighted is the Gauss–Newton core: per-measurement weight scaling
+// (nil = all ones) is applied on top of the 1/σ² base weights.
+func (e *Engine) estimateWeighted(ctx context.Context, opts Options, scale []float64) (*Result, error) {
+	mod := e.mod
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	cgTol := opts.CGTol
+	if cgTol <= 0 {
+		cgTol = 1e-10
+	}
+	if mod.NMeas() < mod.NState() {
+		return nil, fmt.Errorf("%w: %d measurements < %d states", ErrUnobservable, mod.NMeas(), mod.NState())
+	}
+
+	x := mod.FlatVec()
+	if opts.X0 != nil {
+		if len(opts.X0) != mod.NState() {
+			return nil, fmt.Errorf("wls: warm start length %d != state dim %d", len(opts.X0), mod.NState())
+		}
+		copy(x, opts.X0)
+	}
+	copy(e.w, e.baseW)
+	if scale != nil {
+		for i := range e.w {
+			e.w[i] *= scale[i]
+		}
+	}
+	for i, m := range mod.Meas {
+		e.z[i] = m.Value
+	}
+
+	res := &Result{}
+	e.havePrevDx = false
+	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("wls: canceled at iteration %d: %w", iter, err)
+		}
+		e.jplan.EvalInto(e.h, x)
+		sparse.Sub(e.r, e.z, e.h)
+		hj := e.jplan.Refresh(x)
+
+		var dx []float64
+		var cgIters int
+		var err error
+		if opts.Solver == QR {
+			dx, err = solveQR(hj, e.w, e.r)
+		} else {
+			g := e.refreshGain(hj, opts)
+			sparse.GainRHSInto(e.rhs, hj, e.w, e.r, e.wr)
+			dx, cgIters, err = e.solveGain(g, opts, cgTol)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.CGIterations += cgIters
+		sparse.Axpy(1, dx, x)
+		res.Iterations = iter + 1
+		if sparse.NormInf(dx) < tol {
+			res.Converged = true
+			break
+		}
+	}
+	e.finish(res, x)
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d iterations", ErrNotConverged, res.Iterations)
+	}
+	return res, nil
+}
+
+// SolveLinear performs the single weighted least-squares solve of the
+// linear (PMU-only) estimation problem, reusing the engine's plans.
+// Semantics match LinearPMUEstimate's solve.
+func (e *Engine) SolveLinear(opts Options) (*Result, error) {
+	mod := e.mod
+	x := mod.FlatVec()
+	copy(e.w, e.baseW)
+	for i, m := range mod.Meas {
+		e.z[i] = m.Value
+	}
+	e.jplan.EvalInto(e.h, x)
+	sparse.Sub(e.r, e.z, e.h)
+	hj := e.jplan.Refresh(x)
+
+	res := &Result{Iterations: 1, Converged: true}
+	var dx []float64
+	var err error
+	if opts.Solver == QR {
+		dx, err = solveQR(hj, e.w, e.r)
+	} else {
+		cgTol := opts.CGTol
+		if cgTol <= 0 {
+			cgTol = 1e-12
+		}
+		g := e.refreshGain(hj, opts)
+		sparse.GainRHSInto(e.rhs, hj, e.w, e.r, e.wr)
+		e.havePrevDx = false
+		dx, res.CGIterations, err = e.solveGain(g, opts, cgTol)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wls: linear PMU solve: %w", err)
+	}
+	sparse.Axpy(1, dx, x)
+	e.finish(res, x)
+	return res, nil
+}
+
+// finish evaluates the final residuals and fills the caller-owned result
+// slices (the engine's internal buffers never escape).
+func (e *Engine) finish(res *Result, x []float64) {
+	e.jplan.EvalInto(e.h, x)
+	r := make([]float64, e.mod.NMeas())
+	sparse.Sub(r, e.z, e.h)
+	res.X = x
+	res.State = e.mod.VecToState(x)
+	res.Residuals = r
+	for i := range r {
+		res.ObjectiveJ += e.w[i] * r[i] * r[i]
+	}
+}
+
+// refreshGain recomputes G = HᵀWH in place through the gain plan, on the
+// pool unless the caller forces serial execution.
+func (e *Engine) refreshGain(hj *sparse.CSR, opts Options) *sparse.CSR {
+	if opts.Workers == 1 {
+		return e.gplan.Refresh(hj, e.w)
+	}
+	return e.gplan.RefreshPool(hj, e.w, e.pool)
+}
+
+// solveGain solves G·Δx = rhs with the configured solver, reusing the
+// preconditioner numerics, the CG workspace, and the previous Δx as a CG
+// warm start.
+func (e *Engine) solveGain(g *sparse.CSR, opts Options, cgTol float64) ([]float64, int, error) {
+	switch opts.Solver {
+	case Dense:
+		x, err := sparse.SolveDense(g.ToDense(), e.rhs)
+		if err != nil {
+			if errors.Is(err, sparse.ErrSingular) {
+				return nil, 0, ErrUnobservable
+			}
+			return nil, 0, err
+		}
+		return x, 0, nil
+	case PCG:
+		pre, err := e.preconditioner(g, opts.Precond)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wls: preconditioner: %w", err)
+		}
+		cgOpts := sparse.CGOptions{Tol: cgTol, Precond: pre, Work: e.work}
+		if opts.Workers > 0 {
+			cgOpts.Workers = opts.Workers
+		} else {
+			cgOpts.Pool = e.pool
+		}
+		if e.havePrevDx {
+			cgOpts.X0 = e.prevDx
+		}
+		cg, err := sparse.CG(g, e.rhs, cgOpts)
+		if err != nil {
+			if errors.Is(err, sparse.ErrNotSPD) {
+				return nil, cg.Iterations, ErrUnobservable
+			}
+			return nil, cg.Iterations, err
+		}
+		// cg.X aliases the workspace and the next solve overwrites it; keep
+		// a stable copy, which doubles as the next iteration's warm start.
+		copy(e.dx, cg.X)
+		copy(e.prevDx, e.dx)
+		e.havePrevDx = true
+		return e.dx, cg.Iterations, nil
+	default:
+		return nil, 0, fmt.Errorf("wls: unknown solver %v", opts.Solver)
+	}
+}
+
+// preconditioner returns the preconditioner for G, refreshing the cached
+// one's numerics in place when the kind is unchanged (G's pattern is fixed
+// by the gain plan, so the symbolic setup never repeats).
+func (e *Engine) preconditioner(g *sparse.CSR, kind PrecondKind) (sparse.Preconditioner, error) {
+	if kind == PrecondNone {
+		return sparse.IdentityPreconditioner{}, nil
+	}
+	if e.havePre && e.preKind == kind {
+		if ref, ok := e.pre.(sparse.Refresher); ok {
+			if err := ref.Refresh(g); err == nil {
+				return e.pre, nil
+			}
+			// Refresh failure (pattern drift or factorization breakdown):
+			// fall through and rebuild from scratch.
+			e.havePre = false
+		}
+	}
+	var pre sparse.Preconditioner
+	var err error
+	switch kind {
+	case PrecondJacobi:
+		pre, err = sparse.NewJacobi(g)
+	case PrecondIC0:
+		pre, err = sparse.NewIC0(g)
+	case PrecondSSOR:
+		pre, err = sparse.NewSSOR(g, 1.0)
+	default:
+		return nil, fmt.Errorf("wls: unknown preconditioner %v", kind)
+	}
+	if err != nil {
+		e.havePre = false
+		return nil, err
+	}
+	e.pre, e.preKind, e.havePre = pre, kind, true
+	return pre, nil
+}
+
+// NormalizedResiduals computes rᴺ_i = |r_i| / √Ω_ii for a result produced
+// by this engine, reusing the engine's Jacobian and gain plans for the
+// covariance assembly. See the package-level NormalizedResiduals for the
+// formulation.
+func (e *Engine) NormalizedResiduals(res *Result) ([]float64, error) {
+	hj := e.jplan.Refresh(res.X)
+	copy(e.w, e.baseW)
+	g := e.gplan.RefreshPool(hj, e.w, e.pool)
+	return normalizedResiduals(res, e.mod, hj, g)
+}

@@ -1,0 +1,304 @@
+package wls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+	"repro/internal/sparse"
+)
+
+// legacyEstimate is a frozen copy of the pre-engine Gauss–Newton path
+// (fresh COO assembly of H and G every iteration, cold-started CG). The
+// engine must reproduce its results to well under measurement precision;
+// this pins the refactor against silent numerical drift.
+func legacyEstimate(mod *meas.Model, opts Options, scale []float64) (*Result, error) {
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	cgTol := opts.CGTol
+	if cgTol <= 0 {
+		cgTol = 1e-10
+	}
+	x := mod.FlatVec()
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	w := mod.Weights()
+	if scale != nil {
+		for i := range w {
+			w[i] *= scale[i]
+		}
+	}
+	z := make([]float64, mod.NMeas())
+	for i, m := range mod.Meas {
+		z[i] = m.Value
+	}
+	res := &Result{}
+	r := make([]float64, mod.NMeas())
+	for iter := 0; iter < maxIter; iter++ {
+		h := mod.Eval(x)
+		sparse.Sub(r, z, h)
+		hj := mod.Jacobian(x)
+		var dx []float64
+		var cgIters int
+		var err error
+		if opts.Solver == QR {
+			dx, err = solveQR(hj, w, r)
+		} else {
+			g := sparse.Gain(hj, w)
+			rhs := sparse.GainRHS(hj, w, r)
+			dx, cgIters, err = legacySolveGain(g, rhs, opts, cgTol)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.CGIterations += cgIters
+		sparse.Axpy(1, dx, x)
+		res.Iterations = iter + 1
+		if sparse.NormInf(dx) < tol {
+			res.Converged = true
+			break
+		}
+	}
+	h := mod.Eval(x)
+	sparse.Sub(r, z, h)
+	res.X = x
+	res.State = mod.VecToState(x)
+	res.Residuals = r
+	for i := range r {
+		res.ObjectiveJ += w[i] * r[i] * r[i]
+	}
+	if !res.Converged {
+		return res, fmt.Errorf("%w after %d iterations", ErrNotConverged, res.Iterations)
+	}
+	return res, nil
+}
+
+func legacySolveGain(g *sparse.CSR, rhs []float64, opts Options, cgTol float64) ([]float64, int, error) {
+	switch opts.Solver {
+	case Dense:
+		x, err := sparse.SolveDense(g.ToDense(), rhs)
+		if err != nil {
+			if errors.Is(err, sparse.ErrSingular) {
+				return nil, 0, ErrUnobservable
+			}
+			return nil, 0, err
+		}
+		return x, 0, nil
+	case PCG:
+		var pre sparse.Preconditioner
+		var err error
+		switch opts.Precond {
+		case PrecondNone:
+			pre = sparse.IdentityPreconditioner{}
+		case PrecondJacobi:
+			pre, err = sparse.NewJacobi(g)
+		case PrecondIC0:
+			pre, err = sparse.NewIC0(g)
+		case PrecondSSOR:
+			pre, err = sparse.NewSSOR(g, 1.0)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		cg, err := sparse.CG(g, rhs, sparse.CGOptions{Tol: cgTol, Precond: pre, Workers: opts.Workers})
+		if err != nil {
+			if errors.Is(err, sparse.ErrNotSPD) {
+				return nil, cg.Iterations, ErrUnobservable
+			}
+			return nil, cg.Iterations, err
+		}
+		return cg.X, cg.Iterations, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown solver %v", opts.Solver)
+	}
+}
+
+func engineTestModel(t *testing.T, build func() *grid.Network, noise float64, seed int64) *meas.Model {
+	t.Helper()
+	n := build()
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatalf("powerflow: %v", err)
+	}
+	ms, err := meas.Simulate(n, meas.FullPlan().Build(n), pf.State, noise, seed)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	ref := n.SlackIndex()
+	mod, err := meas.NewModel(n, ms, ref, pf.State.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestEngineMatchesLegacyEstimate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"pcg-jacobi", Options{}},
+		{"pcg-none", Options{Precond: PrecondNone}},
+		{"pcg-ic0", Options{Precond: PrecondIC0}},
+		{"pcg-ssor", Options{Precond: PrecondSSOR}},
+		{"pcg-serial", Options{Workers: 1}},
+		{"dense", Options{Solver: Dense}},
+		{"qr", Options{Solver: QR}},
+	}
+	mod := engineTestModel(t, grid.Case14, 0.01, 42)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := legacyEstimate(mod, tc.opts, nil)
+			if err != nil {
+				t.Fatalf("legacy: %v", err)
+			}
+			got, err := Estimate(mod, tc.opts)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			if got.Iterations != want.Iterations {
+				t.Errorf("iterations: engine %d, legacy %d", got.Iterations, want.Iterations)
+			}
+			for i := range want.X {
+				if d := math.Abs(got.X[i] - want.X[i]); d > 1e-12 {
+					t.Fatalf("x[%d]: engine %v legacy %v (|Δ|=%.3g > 1e-12)", i, got.X[i], want.X[i], d)
+				}
+			}
+			if d := math.Abs(got.ObjectiveJ - want.ObjectiveJ); d > 1e-9*(1+want.ObjectiveJ) {
+				t.Errorf("objective: engine %v legacy %v", got.ObjectiveJ, want.ObjectiveJ)
+			}
+			if tc.opts.Solver == PCG || tc.opts.Solver == 0 {
+				if got.CGIterations > want.CGIterations {
+					t.Errorf("warm-started CG used more iterations: engine %d, legacy %d",
+						got.CGIterations, want.CGIterations)
+				}
+			}
+		})
+	}
+}
+
+func TestEngineMatchesLegacyOn118(t *testing.T) {
+	mod := engineTestModel(t, grid.Case118, 0.01, 7)
+	want, err := legacyEstimate(mod, Options{}, nil)
+	if err != nil {
+		t.Fatalf("legacy: %v", err)
+	}
+	got, err := Estimate(mod, Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	for i := range want.X {
+		if d := math.Abs(got.X[i] - want.X[i]); d > 1e-12 {
+			t.Fatalf("x[%d]: |Δ|=%.3g > 1e-12", i, d)
+		}
+	}
+	if got.CGIterations > want.CGIterations {
+		t.Errorf("warm-started CG used more iterations: engine %d, legacy %d", got.CGIterations, want.CGIterations)
+	}
+}
+
+// TestEngineReuse runs the same engine repeatedly and against fresh engines:
+// solver state (warm starts, preconditioner numerics, workspaces) must not
+// leak between calls.
+func TestEngineReuse(t *testing.T) {
+	mod := engineTestModel(t, grid.Case14, 0.01, 3)
+	eng := NewEngine(mod)
+	first, err := eng.Estimate(Options{Precond: PrecondIC0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for call := 0; call < 3; call++ {
+		again, err := eng.Estimate(Options{Precond: PrecondIC0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first.X {
+			if math.Float64bits(first.X[i]) != math.Float64bits(again.X[i]) {
+				t.Fatalf("call %d: x[%d] drifted: %v vs %v", call, i, again.X[i], first.X[i])
+			}
+		}
+		if again.Iterations != first.Iterations || again.CGIterations != first.CGIterations {
+			t.Fatalf("call %d: iteration counts drifted", call)
+		}
+	}
+}
+
+func TestEngineRebind(t *testing.T) {
+	modA := engineTestModel(t, grid.Case14, 0.01, 5)
+	modB := engineTestModel(t, grid.Case14, 0.01, 6) // same structure, new values
+	eng := NewEngine(modA)
+	if _, err := eng.Estimate(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Rebind(modB); err != nil {
+		t.Fatalf("rebind to same-structure model: %v", err)
+	}
+	got, err := eng.Estimate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyEstimate(modB, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.X {
+		if d := math.Abs(got.X[i] - want.X[i]); d > 1e-12 {
+			t.Fatalf("after rebind, x[%d]: |Δ|=%.3g > 1e-12", i, d)
+		}
+	}
+
+	// Different structure must be rejected.
+	other := engineTestModel(t, grid.Case118, 0.01, 5)
+	if err := eng.Rebind(other); err == nil {
+		t.Fatal("rebind accepted a structurally different model")
+	}
+	// ... and the engine must still work on its previous model.
+	if _, err := eng.Estimate(Options{}); err != nil {
+		t.Fatalf("engine broken after failed rebind: %v", err)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	mod := engineTestModel(t, grid.Case14, 0.01, 8)
+	eng := NewEngine(mod)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.EstimateCtx(ctx, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestEngineEstimateAllocations doesn't demand zero (result slices and the
+// dense/QR paths allocate by design) but pins the per-iteration hot path:
+// repeat solves on one engine must allocate far less than the legacy
+// assemble-everything-per-iteration path.
+func TestEngineIterationZeroAllocKernels(t *testing.T) {
+	mod := engineTestModel(t, grid.Case14, 0.01, 9)
+	eng := NewEngine(mod)
+	x := mod.FlatVec()
+	hj := eng.jplan.Refresh(x)
+	copy(eng.w, eng.baseW)
+	eng.gplan.RefreshPool(hj, eng.w, eng.pool)
+	eng.jplan.EvalInto(eng.h, x)
+	sparse.Sub(eng.r, eng.z, eng.h)
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		hj := eng.jplan.Refresh(x)
+		eng.gplan.Refresh(hj, eng.w)
+		sparse.GainRHSInto(eng.rhs, hj, eng.w, eng.r, eng.wr)
+	}); allocs != 0 {
+		t.Fatalf("numeric refresh kernels allocated %v times per run, want 0", allocs)
+	}
+}

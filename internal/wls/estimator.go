@@ -17,7 +17,6 @@ import (
 
 	"repro/internal/meas"
 	"repro/internal/powerflow"
-	"repro/internal/sparse"
 )
 
 // SolverKind selects how the gain-matrix system is solved.
@@ -116,49 +115,4 @@ func EstimateCtx(ctx context.Context, mod *meas.Model, opts Options) (*Result, e
 		return nil, fmt.Errorf("wls: warm start length %d != state dim %d", len(opts.X0), mod.NState())
 	}
 	return estimateWeighted(ctx, mod, opts, nil)
-}
-
-// solveGain dispatches the gain-matrix linear solve.
-func solveGain(g *sparse.CSR, rhs []float64, opts Options, cgTol float64) ([]float64, int, error) {
-	switch opts.Solver {
-	case Dense:
-		x, err := sparse.SolveDense(g.ToDense(), rhs)
-		if err != nil {
-			if errors.Is(err, sparse.ErrSingular) {
-				return nil, 0, ErrUnobservable
-			}
-			return nil, 0, err
-		}
-		return x, 0, nil
-	case PCG:
-		var pre sparse.Preconditioner
-		var err error
-		switch opts.Precond {
-		case PrecondNone:
-			pre = sparse.IdentityPreconditioner{}
-		case PrecondJacobi:
-			pre, err = sparse.NewJacobi(g)
-		case PrecondIC0:
-			pre, err = sparse.NewIC0(g)
-		case PrecondSSOR:
-			pre, err = sparse.NewSSOR(g, 1.0)
-		default:
-			return nil, 0, fmt.Errorf("wls: unknown preconditioner %v", opts.Precond)
-		}
-		if err != nil {
-			return nil, 0, fmt.Errorf("wls: preconditioner: %w", err)
-		}
-		cg, err := sparse.CG(g, rhs, sparse.CGOptions{
-			Tol: cgTol, Precond: pre, Workers: opts.Workers,
-		})
-		if err != nil {
-			if errors.Is(err, sparse.ErrNotSPD) {
-				return nil, cg.Iterations, ErrUnobservable
-			}
-			return nil, cg.Iterations, err
-		}
-		return cg.X, cg.Iterations, nil
-	default:
-		return nil, 0, fmt.Errorf("wls: unknown solver %v", opts.Solver)
-	}
 }

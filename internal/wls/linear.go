@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/meas"
-	"repro/internal/sparse"
 )
 
 // LinearPMUEstimate solves the PMU-only state estimation problem in one
@@ -29,46 +28,10 @@ func LinearPMUEstimate(mod *meas.Model, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("%w: %d phasor measurements < %d states", ErrUnobservable, mod.NMeas(), mod.NState())
 	}
 	// h(x) = H·x + c with constant H: one linearization at flat start is
-	// exact, so a single normal-equation (or QR) solve finishes the job.
-	x := mod.FlatVec()
-	w := mod.Weights()
-	z := make([]float64, mod.NMeas())
-	for i, m := range mod.Meas {
-		z[i] = m.Value
-	}
-	h := mod.Eval(x)
-	r := make([]float64, mod.NMeas())
-	sparse.Sub(r, z, h)
-	hj := mod.Jacobian(x)
-
-	res := &Result{Iterations: 1, Converged: true}
-	var dx []float64
-	var err error
-	if opts.Solver == QR {
-		dx, err = solveQR(hj, w, r)
-	} else {
-		cgTol := opts.CGTol
-		if cgTol <= 0 {
-			cgTol = 1e-12
-		}
-		g := sparse.Gain(hj, w)
-		rhs := sparse.GainRHS(hj, w, r)
-		dx, res.CGIterations, err = solveGain(g, rhs, opts, cgTol)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("wls: linear PMU solve: %w", err)
-	}
-	sparse.Axpy(1, dx, x)
-
-	h = mod.Eval(x)
-	sparse.Sub(r, z, h)
-	res.X = x
-	res.State = mod.VecToState(x)
-	res.Residuals = r
-	for i := range r {
-		res.ObjectiveJ += w[i] * r[i] * r[i]
-	}
-	return res, nil
+	// exact, so a single normal-equation (or QR) solve finishes the job,
+	// routed through the solver engine so the phasor problem shares the
+	// plan/workspace machinery of the nonlinear path.
+	return NewEngine(mod).SolveLinear(opts)
 }
 
 // PMUOnlyPlan meters every bus with a PMU (voltage magnitude + angle) at

@@ -62,10 +62,13 @@ func EstimateRobust(mod *meas.Model, opts RobustOptions) (*RobustResult, error) 
 		scale[i] = 1
 	}
 
+	// One engine for all IRLS rounds: only the weights change between
+	// rounds, so every round reuses the same symbolic plans.
+	eng := NewEngine(mod)
 	var prev []float64
 	out := &RobustResult{}
 	for round := 0; round < maxRounds; round++ {
-		res, err := estimateWeighted(context.Background(), mod, opts.Inner, scale)
+		res, err := eng.estimateWeighted(context.Background(), opts.Inner, scale)
 		if err != nil {
 			return nil, fmt.Errorf("wls: robust round %d: %w", round, err)
 		}
@@ -107,84 +110,12 @@ func EstimateRobust(mod *meas.Model, opts RobustOptions) (*RobustResult, error) 
 }
 
 // estimateWeighted is the Gauss–Newton core shared by Estimate and the
-// robust estimator: per-measurement weight scaling (nil = all ones) is
-// applied on top of the 1/σ² base weights.
+// robust estimator, now routed through a single-use solver engine. Callers
+// that solve the same structure repeatedly (IRLS, DSE rounds, tracking)
+// should hold an Engine and call its methods instead.
 func estimateWeighted(ctx context.Context, mod *meas.Model, opts Options, scale []float64) (*Result, error) {
-	tol := opts.Tol
-	if tol <= 0 {
-		tol = 1e-6
-	}
-	maxIter := opts.MaxIter
-	if maxIter <= 0 {
-		maxIter = 25
-	}
-	cgTol := opts.CGTol
-	if cgTol <= 0 {
-		cgTol = 1e-10
-	}
 	if mod.NMeas() < mod.NState() {
 		return nil, fmt.Errorf("%w: %d measurements < %d states", ErrUnobservable, mod.NMeas(), mod.NState())
 	}
-
-	x := mod.FlatVec()
-	if opts.X0 != nil {
-		if len(opts.X0) != mod.NState() {
-			return nil, fmt.Errorf("wls: warm start length %d != state dim %d", len(opts.X0), mod.NState())
-		}
-		copy(x, opts.X0)
-	}
-	w := mod.Weights()
-	if scale != nil {
-		for i := range w {
-			w[i] *= scale[i]
-		}
-	}
-	z := make([]float64, mod.NMeas())
-	for i, m := range mod.Meas {
-		z[i] = m.Value
-	}
-
-	res := &Result{}
-	r := make([]float64, mod.NMeas())
-	for iter := 0; iter < maxIter; iter++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("wls: canceled at iteration %d: %w", iter, err)
-		}
-		h := mod.Eval(x)
-		sparse.Sub(r, z, h)
-		hj := mod.Jacobian(x)
-
-		var dx []float64
-		var cgIters int
-		var err error
-		if opts.Solver == QR {
-			dx, err = solveQR(hj, w, r)
-		} else {
-			g := sparse.Gain(hj, w)
-			rhs := sparse.GainRHS(hj, w, r)
-			dx, cgIters, err = solveGain(g, rhs, opts, cgTol)
-		}
-		if err != nil {
-			return nil, err
-		}
-		res.CGIterations += cgIters
-		sparse.Axpy(1, dx, x)
-		res.Iterations = iter + 1
-		if sparse.NormInf(dx) < tol {
-			res.Converged = true
-			break
-		}
-	}
-	h := mod.Eval(x)
-	sparse.Sub(r, z, h)
-	res.X = x
-	res.State = mod.VecToState(x)
-	res.Residuals = r
-	for i := range r {
-		res.ObjectiveJ += w[i] * r[i] * r[i]
-	}
-	if !res.Converged {
-		return res, fmt.Errorf("%w after %d iterations", ErrNotConverged, res.Iterations)
-	}
-	return res, nil
+	return NewEngine(mod).estimateWeighted(ctx, opts, scale)
 }
