@@ -253,7 +253,9 @@ func BenchmarkPowerFlow118(b *testing.B) {
 // --- Ablation benches (design choices called out in DESIGN.md §5) ---
 
 // BenchmarkAblationPreconditioner compares gain-solve preconditioners on
-// the full IEEE-118 estimation.
+// the full IEEE-118 estimation, crossed with the fill-reducing ordering of
+// the gain matrix (natural / RCM / min-degree). Jacobi is permutation-
+// invariant, so its orderings should tie — a built-in sanity row.
 func BenchmarkAblationPreconditioner(b *testing.B) {
 	fx := benchFixture(b)
 	precs := []struct {
@@ -265,18 +267,32 @@ func BenchmarkAblationPreconditioner(b *testing.B) {
 		{"ic0", wls.PrecondIC0},
 		{"ssor", wls.PrecondSSOR},
 	}
+	orders := []struct {
+		name string
+		kind wls.OrderingKind
+	}{
+		{"natural", wls.OrderNatural},
+		{"rcm", wls.OrderRCM},
+		{"mindeg", wls.OrderMinDegree},
+	}
 	for _, p := range precs {
-		b.Run(p.name, func(b *testing.B) {
-			var cg int
-			for i := 0; i < b.N; i++ {
-				res, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas, wls.Options{Precond: p.kind})
-				if err != nil {
-					b.Fatal(err)
-				}
-				cg = res.CGIterations
+		for _, o := range orders {
+			if p.kind == wls.PrecondNone && o.kind != wls.OrderNatural {
+				continue // unpreconditioned CG is ordering-blind
 			}
-			b.ReportMetric(float64(cg), "cg-iters")
-		})
+			b.Run(p.name+"/"+o.name, func(b *testing.B) {
+				var cg int
+				for i := 0; i < b.N; i++ {
+					res, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas,
+						wls.Options{Precond: p.kind, Ordering: o.kind})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cg = res.CGIterations
+				}
+				b.ReportMetric(float64(cg), "cg-iters")
+			})
+		}
 	}
 }
 

@@ -6,6 +6,13 @@
 //
 //	go test -bench . -benchmem -count 5 | go run ./cmd/benchjson -o BENCH_1.json
 //	go run ./cmd/benchjson -o BENCH_1.json bench.txt
+//	go run ./cmd/benchjson -o BENCH_2.json -compare BENCH_1.json bench.txt
+//
+// With -compare OLD.json the tool additionally prints a per-benchmark
+// ratio table (new/old ms/op and allocs/op) against a previously committed
+// record, flagging entries whose time ratio exceeds -tol. The comparison
+// is a report, not a gate: the exit status stays zero, matching the
+// repo's non-gating CI bench job.
 //
 // Repeated runs of the same benchmark (from -count N) are aggregated: the
 // JSON records the minimum ns/op (the least-noise estimate of the true
@@ -41,6 +48,8 @@ type Entry struct {
 
 func main() {
 	out := flag.String("o", "BENCH_1.json", "output JSON file ('-' for stdout)")
+	compare := flag.String("compare", "", "previous JSON record to diff against (report only, never fails)")
+	tol := flag.Float64("tol", 1.10, "time ratio above which a benchmark is flagged as a regression")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -77,17 +86,85 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(entries), *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal(err)
+	if *compare != "" {
+		old, err := loadRecord(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		writeComparison(os.Stdout, old, entries, *tol)
 	}
-	names := make([]string, 0, len(entries))
-	for n := range entries {
+}
+
+// loadRecord reads a previously committed benchmark JSON record.
+func loadRecord(path string) (map[string]*Entry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries map[string]*Entry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// writeComparison prints the per-benchmark new/old ratio table. Benchmarks
+// present on only one side are listed as added/removed; a time ratio above
+// tol is flagged, a reciprocal improvement is marked.
+func writeComparison(w io.Writer, old, cur map[string]*Entry, tol float64) {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(names), *out)
+	regressions := 0
+	fmt.Fprintf(w, "%-64s %12s %12s %8s %10s\n", "benchmark", "old ms/op", "new ms/op", "ratio", "allocs")
+	for _, n := range names {
+		e := cur[n]
+		o, ok := old[n]
+		if !ok {
+			fmt.Fprintf(w, "%-64s %12s %12.3f %8s %10s\n", n, "-", e.NsPerOp/1e6, "added", "-")
+			continue
+		}
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = e.NsPerOp / o.NsPerOp
+		}
+		allocs := "1.00x"
+		if o.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf("%.2fx", e.AllocsPerOp/o.AllocsPerOp)
+		} else if e.AllocsPerOp > 0 {
+			allocs = "added"
+		}
+		note := ""
+		switch {
+		case ratio > tol:
+			note = "  << regression"
+			regressions++
+		case ratio > 0 && ratio < 1/tol:
+			note = "  (improved)"
+		}
+		fmt.Fprintf(w, "%-64s %12.3f %12.3f %7.2fx %10s%s\n", n, o.NsPerOp/1e6, e.NsPerOp/1e6, ratio, allocs, note)
+	}
+	removed := make([]string, 0)
+	for n := range old {
+		if _, ok := cur[n]; !ok {
+			removed = append(removed, n)
+		}
+	}
+	sort.Strings(removed)
+	for _, n := range removed {
+		fmt.Fprintf(w, "%-64s %12.3f %12s %8s %10s\n", n, old[n].NsPerOp/1e6, "-", "removed", "-")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) slower than %.2fx the previous record\n", regressions, tol)
+	}
 }
 
 // parse scans go-test bench output. A benchmark line looks like

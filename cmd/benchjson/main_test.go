@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAggregatesRuns(t *testing.T) {
+	in := strings.NewReader(`
+goos: linux
+BenchmarkSolve-8  100  2000000 ns/op  1024 B/op  10 allocs/op  7.00 cg-iters
+BenchmarkSolve-8  120  1500000 ns/op  1024 B/op  10 allocs/op  9.00 cg-iters
+BenchmarkOther-8   50  3000000 ns/op
+PASS
+`)
+	entries, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries["BenchmarkSolve-8"]
+	if e == nil || e.Runs != 2 {
+		t.Fatalf("BenchmarkSolve-8 runs = %+v, want 2", e)
+	}
+	if e.NsPerOp != 1500000 {
+		t.Fatalf("ns/op = %g, want min 1500000", e.NsPerOp)
+	}
+	if got := e.sums["cg-iters"] / float64(e.counts["cg-iters"]); got != 8 {
+		t.Fatalf("cg-iters mean = %g, want 8", got)
+	}
+	if entries["BenchmarkOther-8"].NsPerOp != 3000000 {
+		t.Fatalf("BenchmarkOther-8 = %+v", entries["BenchmarkOther-8"])
+	}
+}
+
+func TestWriteComparisonFlagsRegressions(t *testing.T) {
+	old := map[string]*Entry{
+		"BenchmarkFast-8":    {NsPerOp: 1e6, AllocsPerOp: 10},
+		"BenchmarkSlow-8":    {NsPerOp: 1e6, AllocsPerOp: 10},
+		"BenchmarkRemoved-8": {NsPerOp: 1e6},
+	}
+	cur := map[string]*Entry{
+		"BenchmarkFast-8":  {NsPerOp: 0.5e6, AllocsPerOp: 10},
+		"BenchmarkSlow-8":  {NsPerOp: 2e6, AllocsPerOp: 20},
+		"BenchmarkAdded-8": {NsPerOp: 1e6},
+	}
+	var sb strings.Builder
+	writeComparison(&sb, old, cur, 1.10)
+	out := sb.String()
+	for _, want := range []string{
+		"<< regression",  // BenchmarkSlow at 2.00x
+		"(improved)",     // BenchmarkFast at 0.50x
+		"added",          // BenchmarkAdded has no old record
+		"removed",        // BenchmarkRemoved has no new record
+		"2.00x",          // slow time ratio and alloc ratio
+		"1 benchmark(s)", // regression summary line
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}

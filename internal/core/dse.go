@@ -216,12 +216,16 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 		if err != nil {
 			return nil, err
 		}
+		// res.Step2 is overwritten next round, so fold this round's
+		// iteration counts into the stats now — Duration already spans all
+		// rounds and the counts must too.
+		res.Step2Stats.addIterations(res.Step2)
 		for si := 0; si < m; si++ {
 			current[si] = res.Step2[si].State
 			currentProb[si] = probs2[si]
 		}
 	}
-	res.Step2Stats = statsOf(res.Step2, time.Since(start))
+	res.Step2Stats.Duration = time.Since(start)
 
 	// Final step: aggregate the system-wide solution from each subsystem's
 	// own buses.
@@ -321,13 +325,20 @@ func forEachSubsystem(ctx context.Context, phase string, m int, sequential bool,
 
 func statsOf(results []*wls.Result, d time.Duration) StepStats {
 	st := StepStats{Duration: d}
+	st.addIterations(results)
+	return st
+}
+
+// addIterations accumulates one round's per-subsystem iteration counts.
+// Multi-round phases call it once per round so the totals cover the same
+// span as Duration.
+func (st *StepStats) addIterations(results []*wls.Result) {
 	for _, r := range results {
 		if r != nil {
 			st.Iterations += r.Iterations
 			st.CGIterations += r.CGIterations
 		}
 	}
-	return st
 }
 
 // packetSize returns the serialized (gob) size of a pseudo packet — the

@@ -314,6 +314,34 @@ func TestRunDSEMultipleRounds(t *testing.T) {
 	}
 }
 
+// TestRunDSEStep2StatsAccumulateRounds is the regression test for the
+// multi-round stats undercount: res.Step2 is overwritten every round, so
+// summing it once at the end counted only the final round's Gauss–Newton
+// and CG iterations while Duration spanned all rounds. The stats must
+// accumulate per round: round 1 of the 3-round run is identical to the
+// 1-round run (deterministic inputs), and rounds 2 and 3 each add at least
+// one Gauss–Newton iteration per subsystem.
+func TestRunDSEStep2StatsAccumulateRounds(t *testing.T) {
+	fx := newFixture(t, grid.Case30, 3, 1)
+	r1, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := RunDSE(context.Background(), fx.dec, fx.ms, DSEOptions{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(fx.dec.Subsystems)
+	if min := r1.Step2Stats.Iterations + 2*m; r3.Step2Stats.Iterations < min {
+		t.Fatalf("3-round Step2Stats.Iterations = %d, want ≥ %d (1-round count %d + 1 GN iteration × %d subsystems × 2 extra rounds)",
+			r3.Step2Stats.Iterations, min, r1.Step2Stats.Iterations, m)
+	}
+	if r3.Step2Stats.CGIterations < r1.Step2Stats.CGIterations {
+		t.Fatalf("3-round CG iterations %d < 1-round %d",
+			r3.Step2Stats.CGIterations, r1.Step2Stats.CGIterations)
+	}
+}
+
 func TestRunDSERequiresPMUAtRefs(t *testing.T) {
 	n := grid.Case14()
 	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})

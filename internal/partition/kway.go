@@ -331,16 +331,30 @@ func refine(g *Graph, parts []int, k int, opts Options) {
 					bestP, bestGain = p, gain
 				}
 			}
-			// Also consider pure balance moves when v's part is overloaded.
+			// Also consider balance moves when v's part is overloaded:
+			// prefer the lightest part v actually touches (the move keeps
+			// some of v's connectivity), and only fall back to the globally
+			// lightest part — a pure balance move that cuts every edge of v
+			// — when no touched part can take it. Either way the
+			// destination must stay within maxLoad and end up lighter than
+			// the overloaded source, so the move shrinks the imbalance
+			// instead of bouncing it between parts.
 			if bestP == from && pw[from] > maxLoad {
-				lightest := from
+				dest := -1
 				for p := 0; p < k; p++ {
-					if pw[p] < pw[lightest] {
-						lightest = p
+					if p != from && conn[p] > 0 && (dest < 0 || pw[p] < pw[dest]) {
+						dest = p
 					}
 				}
-				if lightest != from && conn[lightest] >= 0 && pw[lightest]+g.vw[v] < pw[from] {
-					bestP = lightest
+				if dest < 0 || pw[dest]+g.vw[v] > maxLoad {
+					for p := 0; p < k; p++ {
+						if p != from && (dest < 0 || pw[p] < pw[dest]) {
+							dest = p
+						}
+					}
+				}
+				if dest >= 0 && pw[dest]+g.vw[v] <= maxLoad && pw[dest]+g.vw[v] < pw[from] {
+					bestP = dest
 				}
 			}
 			if bestP != from {

@@ -221,6 +221,52 @@ func TestRepartitionAdaptsToWeightChange(t *testing.T) {
 	}
 }
 
+// TestRefineBalanceMovePrefersTouchedPart pins the balance-move guard that
+// was vacuous (conn[lightest] >= 0 is always true): when a vertex must
+// leave an overloaded part, it should land on the lightest part it is
+// actually connected to, not bounce to an arbitrary untouched part.
+func TestRefineBalanceMovePrefersTouchedPart(t *testing.T) {
+	g := NewGraph(4)
+	for v, w := range []float64{1, 6, 2, 1} {
+		g.SetVertexWeight(v, w)
+	}
+	g.AddEdge(0, 1, 5) // strong tie inside the overloaded part
+	g.AddEdge(0, 2, 1) // v0 touches part 1
+	// part 0 = {v0, v1} weight 7 (overloaded: budget 10/3, maxLoad ≈ 3.5);
+	// part 1 = {v2} weight 2 (lightest part v0 touches);
+	// part 2 = {v3} weight 1 (globally lightest, but v0 has no edge to it).
+	parts := []int{0, 0, 1, 2}
+	refine(g, parts, 3, Options{ImbalanceTol: 1.05, RefinePasses: 8})
+	if parts[0] != 1 {
+		t.Fatalf("overloaded vertex moved to part %d, want the touched lightest part 1", parts[0])
+	}
+	if parts[1] != 0 || parts[2] != 1 || parts[3] != 2 {
+		t.Fatalf("unrelated vertices moved: %v", parts)
+	}
+}
+
+// TestRefineBalanceMoveRespectsDestinationLoad: a pure balance move must
+// not shove a vertex onto a destination that the move itself would push
+// past maxLoad — the old guard only required the destination to end up
+// lighter than the (overloaded) source.
+func TestRefineBalanceMoveRespectsDestinationLoad(t *testing.T) {
+	g := NewGraph(3)
+	for v, w := range []float64{4, 4, 2} {
+		g.SetVertexWeight(v, w)
+	}
+	g.AddEdge(0, 1, 1) // internal edge only: v0/v1 touch no other part
+	// part 0 = {v0, v1} weight 8 is overloaded (budget 5, maxLoad 5.25),
+	// but moving either 4-weight vertex to part 1 would load it to 6.
+	parts := []int{0, 0, 1}
+	refine(g, parts, 2, Options{ImbalanceTol: 1.05, RefinePasses: 8})
+	want := []int{0, 0, 1}
+	for v := range want {
+		if parts[v] != want[v] {
+			t.Fatalf("refine made an overloading move: parts = %v, want %v", parts, want)
+		}
+	}
+}
+
 func TestRepartitionValidation(t *testing.T) {
 	g := paperGraph()
 	if _, err := Repartition(g, 3, []int{0, 1}, Options{}); err == nil {

@@ -32,13 +32,22 @@ type CGOptions struct {
 	// solves on same-dimension systems allocate nothing. The returned
 	// CGResult.X aliases Work.X and is overwritten by the next solve.
 	Work *CGWorkspace
+	// Perm, when non-nil, declares that a (and the preconditioner) live in
+	// fill-reducing permuted space: a = P·A·Pᵀ with perm[new] = old (the
+	// GainPlan ordering convention). b, X0, and the returned X stay in
+	// original space — CG permutes b and the warm start inward and the
+	// solution outward using workspace-backed buffers, so repeated permuted
+	// solves still allocate nothing.
+	Perm []int
 }
 
 // CGWorkspace holds the five iteration vectors of a CG solve (x, r, z, p,
-// A·p) for reuse across solves. The zero value is usable; buffers grow on
-// demand and are retained.
+// A·p) for reuse across solves, plus two boundary buffers (permuted b and
+// x) that are grown only when a solve runs in permuted space. The zero
+// value is usable; buffers grow on demand and are retained.
 type CGWorkspace struct {
 	X, r, z, p, ap []float64
+	bp, xp         []float64 // permuted-space b and iterate (CGOptions.Perm)
 }
 
 // NewCGWorkspace returns a workspace pre-sized for n-dimensional systems.
@@ -48,18 +57,26 @@ func NewCGWorkspace(n int) *CGWorkspace {
 	return w
 }
 
-func (w *CGWorkspace) resize(n int) {
-	grow := func(v []float64) []float64 {
-		if cap(v) < n {
-			return make([]float64, n)
-		}
-		return v[:n]
+func grow(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
 	}
-	w.X = grow(w.X)
-	w.r = grow(w.r)
-	w.z = grow(w.z)
-	w.p = grow(w.p)
-	w.ap = grow(w.ap)
+	return v[:n]
+}
+
+func (w *CGWorkspace) resize(n int) {
+	w.X = grow(w.X, n)
+	w.r = grow(w.r, n)
+	w.z = grow(w.z, n)
+	w.p = grow(w.p, n)
+	w.ap = grow(w.ap, n)
+}
+
+// resizePerm sizes the permuted-boundary buffers, kept out of resize so
+// natural-ordering solves never pay for them.
+func (w *CGWorkspace) resizePerm(n int) {
+	w.bp = grow(w.bp, n)
+	w.xp = grow(w.xp, n)
 }
 
 // CGResult reports how a CG solve went.
@@ -121,14 +138,42 @@ func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
 		}
 	}
 
-	x, r := work.X, work.r
+	// With a fill-reducing permutation, the iteration runs entirely in
+	// permuted space (a and the preconditioner already live there): b is
+	// gathered into the permuted buffer up front, the iterate lives in
+	// work.xp, and finishX scatters the solution back to original order in
+	// work.X. ‖P·b‖₂ = ‖b‖₂, so tolerances are unaffected.
+	perm := opts.Perm
+	x := work.X
+	if perm != nil {
+		if len(perm) != n {
+			return CGResult{}, fmt.Errorf("sparse: CG perm length %d != %d", len(perm), n)
+		}
+		work.resizePerm(n)
+		for i, o := range perm {
+			work.bp[i] = b[o]
+		}
+		b = work.bp
+		x = work.xp
+	}
+	finishX := func() []float64 {
+		if perm == nil {
+			return x
+		}
+		for i, o := range perm {
+			work.X[o] = x[i]
+		}
+		return work.X
+	}
+
+	r := work.r
 	for i := range x {
 		x[i] = 0
 	}
 	copy(r, b)
 	bnorm := Norm2(b)
 	if bnorm == 0 {
-		return CGResult{X: x, Converged: true}, nil
+		return CGResult{X: finishX(), Converged: true}, nil
 	}
 	// rr tracks ‖r‖² across iterations so the solver never spends a
 	// separate pass per iteration on the residual norm: it is recomputed
@@ -138,7 +183,13 @@ func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
 		if len(opts.X0) != n {
 			return CGResult{}, fmt.Errorf("sparse: CG x0 length %d != %d", len(opts.X0), n)
 		}
-		copy(x, opts.X0)
+		if perm != nil {
+			for i, o := range perm {
+				x[i] = opts.X0[o]
+			}
+		} else {
+			copy(x, opts.X0)
+		}
 		ax := work.ap // free until the first iteration's mat-vec
 		mulVec(ax, x)
 		warmRR := 0.0
@@ -164,17 +215,19 @@ func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
 	copy(p, z)
 	rz := Dot(r, z)
 
-	res := CGResult{X: x}
+	res := CGResult{}
 	for k := 0; k < maxIter; k++ {
 		res.Residual = math.Sqrt(rr) / bnorm
 		res.Iterations = k
 		if res.Residual <= tol {
 			res.Converged = true
+			res.X = finishX()
 			return res, nil
 		}
 		mulVec(ap, p)
 		pap := Dot(p, ap)
 		if pap <= 0 {
+			res.X = finishX()
 			return res, ErrNotSPD
 		}
 		alpha := rz / pap
@@ -195,6 +248,7 @@ func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
 	res.Iterations = maxIter
 	res.Residual = math.Sqrt(rr) / bnorm
 	res.Converged = res.Residual <= tol
+	res.X = finishX()
 	if !res.Converged {
 		return res, ErrCGDiverged
 	}

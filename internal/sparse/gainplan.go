@@ -31,6 +31,12 @@ type GainPlan struct {
 	// roughly equal multiply-accumulate work rather than equal row count.
 	rowWork []int
 
+	// perm is the optional symmetric fill-reducing permutation baked into
+	// the scatter map (perm[new] = old); nil means natural ordering. When
+	// set, G is P·(HᵀWH)·Pᵀ and solves must permute b/x at the boundary
+	// (CGOptions.Perm).
+	perm []int
+
 	hnnz  int // expected nnz of H, to catch pattern drift
 	hrows int
 }
@@ -55,7 +61,25 @@ func (r tagRowView) Swap(i, j int) {
 // pattern of h. The plan stays valid as long as h's sparsity pattern is
 // unchanged (values are free to change — that is the point).
 func NewGainPlan(h *CSR) *GainPlan {
+	return NewGainPlanOrdered(h, nil)
+}
+
+// NewGainPlanOrdered is NewGainPlan with a symmetric fill-reducing
+// permutation of the assembled gain matrix baked into the scatter map:
+// every contribution targets G entry (inv[i], inv[j]) instead of (i, j), so
+// a numeric Refresh produces P·(HᵀWH)·Pᵀ directly — same flat
+// multiply-accumulate pass, zero extra per-refresh cost, RefreshPool stays
+// row-parallel. perm follows the package convention (perm[new] = old,
+// length h.Cols); nil selects natural ordering. With a non-nil perm the
+// legacy bitwise-contribution-order guarantee applies to the permuted
+// entries' own deterministic order, not to the natural assembly.
+func NewGainPlanOrdered(h *CSR, perm []int) *GainPlan {
 	n := h.Cols
+	var inv []int
+	if perm != nil {
+		checkPerm(perm, n, "NewGainPlanOrdered")
+		inv = InversePerm(perm)
+	}
 	ntrip := 0
 	for m := 0; m < h.Rows; m++ {
 		d := h.RowNNZ(m)
@@ -74,8 +98,13 @@ func NewGainPlan(h *CSR) *GainPlan {
 		lo, hi := h.RowPtr[m], h.RowPtr[m+1]
 		for p := lo; p < hi; p++ {
 			for q := lo; q < hi; q++ {
-				rowOf[t] = h.ColIdx[p]
-				colOf[t] = h.ColIdx[q]
+				if inv != nil {
+					rowOf[t] = inv[h.ColIdx[p]]
+					colOf[t] = inv[h.ColIdx[q]]
+				} else {
+					rowOf[t] = h.ColIdx[p]
+					colOf[t] = h.ColIdx[q]
+				}
 				tagA[t] = int32(p)
 				tagB[t] = int32(q)
 				tagM[t] = int32(m)
@@ -93,20 +122,20 @@ func NewGainPlan(h *CSR) *GainPlan {
 		rowPtr[i+1] += rowPtr[i]
 	}
 	scol := make([]int, ntrip)
-	perm := make([]int32, ntrip)
+	order := make([]int32, ntrip)
 	next := make([]int, n)
 	copy(next, rowPtr[:n])
 	for k := 0; k < ntrip; k++ {
 		r := rowOf[k]
 		p := next[r]
 		scol[p] = colOf[k]
-		perm[p] = int32(k)
+		order[p] = int32(k)
 		next[r]++
 	}
 
 	// Per-row column sort (legacy rowView order), then the dedup scan that
 	// fixes G's pattern and groups contributions per G entry.
-	gp := &GainPlan{hnnz: h.NNZ(), hrows: h.Rows}
+	gp := &GainPlan{hnnz: h.NNZ(), hrows: h.Rows, perm: perm}
 	gRowPtr := make([]int, n+1)
 	var gColIdx []int
 	gp.entryPtr = append(gp.entryPtr, 0)
@@ -116,13 +145,13 @@ func NewGainPlan(h *CSR) *GainPlan {
 	gp.rowWork = make([]int, n+1)
 	for i := 0; i < n; i++ {
 		lo, hi := rowPtr[i], rowPtr[i+1]
-		sort.Sort(tagRowView{cols: scol[lo:hi], tags: perm[lo:hi]})
+		sort.Sort(tagRowView{cols: scol[lo:hi], tags: order[lo:hi]})
 		for k := lo; k < hi; k++ {
 			if k == lo || scol[k] != scol[k-1] {
 				gColIdx = append(gColIdx, scol[k])
 				gp.entryPtr = append(gp.entryPtr, gp.entryPtr[len(gp.entryPtr)-1])
 			}
-			src := perm[k]
+			src := order[k]
 			gp.cA = append(gp.cA, tagA[src])
 			gp.cB = append(gp.cB, tagB[src])
 			gp.cM = append(gp.cM, tagM[src])
@@ -134,6 +163,12 @@ func NewGainPlan(h *CSR) *GainPlan {
 	gp.G = &CSR{Rows: n, Cols: n, RowPtr: gRowPtr, ColIdx: gColIdx, Val: make([]float64, len(gColIdx))}
 	return gp
 }
+
+// Perm returns the symmetric permutation baked into the plan (perm[new] =
+// old), nil for natural ordering. Callers solving with the plan's G must
+// pass it through to the solver (CGOptions.Perm) so b and x are permuted at
+// the boundary.
+func (gp *GainPlan) Perm() []int { return gp.perm }
 
 // Refresh recomputes G.Val from the current numeric values of h and the
 // weights w, serially and without allocating. h must have the sparsity

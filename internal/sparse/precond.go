@@ -97,10 +97,13 @@ type IC0Preconditioner struct {
 var ErrNotSPD = errors.New("sparse: matrix is not positive definite (pivot <= 0)")
 
 // NewIC0 computes the IC(0) factorization of the symmetric matrix a.
-// Only the lower triangle of a is read. Breakdown (non-positive pivot)
-// is repaired by a diagonal shift fallback: the offending pivot is replaced
-// by the square root of the original diagonal entry, which keeps the
-// preconditioner SPD at some cost in quality.
+// Only the lower triangle of a is read. Breakdown (non-positive pivot) is
+// repaired by a Manteuffel-style global diagonal shift: the factorization
+// restarts on A + α·diag(A) with α escalating by decades until the pivots
+// stay positive. The shift degrades the preconditioner smoothly, unlike a
+// per-pivot patch whose inconsistent rows can cascade into overflow on
+// later pivots (observed under fill-reducing reorderings). Matrices whose
+// original diagonal is not strictly positive are unrepairable (ErrNotSPD).
 func NewIC0(a *CSR) (*IC0Preconditioner, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("sparse: IC0 requires square matrix, got %dx%d", a.Rows, a.Cols)
@@ -161,10 +164,62 @@ func (p *IC0Preconditioner) Refresh(a *CSR) error {
 	return p.factorize(a)
 }
 
-// factorize runs the in-place IKJ incomplete factorization over p.val,
-// which must hold the lower triangle of a. a is consulted only for the
-// breakdown-repair diagonal fallback.
+// errIC0Breakdown is the internal signal that a factorization attempt hit a
+// non-positive pivot on a matrix whose original diagonal is positive — i.e.
+// a larger diagonal shift may still succeed.
+var errIC0Breakdown = errors.New("sparse: IC0 pivot breakdown")
+
+// ic0PivotRelFloor is the smallest fraction of the (shifted) diagonal a
+// pivot may retain after the update subtractions. A pivot below it is pure
+// cancellation noise — "positive" only by roundoff — and dividing by its
+// square root would blow the factor up by ~1e6, so it is treated as a
+// breakdown and repaired by the next shift escalation instead.
+const ic0PivotRelFloor = 1e-12
+
+// loadLower re-extracts the lower-triangle values of a into the factor
+// storage, undoing a failed in-place factorization attempt. The pattern has
+// already been validated against p.colIdx by the caller.
+func (p *IC0Preconditioner) loadLower(a *CSR) {
+	idx := 0
+	for i := 0; i < p.n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] <= i {
+				p.val[idx] = a.Val[k]
+				idx++
+			}
+		}
+	}
+}
+
+// factorize runs the incomplete factorization, restarting with an
+// escalating Manteuffel diagonal shift on pivot breakdown. p.val must hold
+// the lower triangle of a on entry.
 func (p *IC0Preconditioner) factorize(a *CSR) error {
+	const maxShiftTries = 6
+	alpha := 0.0
+	for try := 0; ; try++ {
+		err := p.tryFactorize(alpha)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, errIC0Breakdown) || try == maxShiftTries {
+			return ErrNotSPD
+		}
+		if alpha == 0 {
+			alpha = 1e-3
+		} else {
+			alpha *= 10
+		}
+		p.loadLower(a) // the failed attempt clobbered the values in place
+	}
+}
+
+// tryFactorize runs one in-place IKJ incomplete factorization pass over
+// p.val (which must hold the lower triangle of A) with the diagonal scaled
+// by 1+alpha, i.e. it factors A + α·diag(A). On a non-positive pivot it
+// resets the colPos scratch and reports errIC0Breakdown when a larger shift
+// could repair it (positive original diagonal) or ErrNotSPD when not.
+func (p *IC0Preconditioner) tryFactorize(alpha float64) error {
 	n := p.n
 	// colPos[j] maps column j -> entry index within the current row i.
 	colPos := p.colPos
@@ -186,21 +241,23 @@ func (p *IC0Preconditioner) factorize(a *CSR) error {
 			djj := p.val[p.diag[j]]
 			p.val[k] = sum / djj
 		}
-		// Diagonal: L(i,i) = sqrt(A(i,i) - Σ_{t<i} L(i,t)²)
-		sum := p.val[hi-1]
+		// Diagonal: L(i,i) = sqrt((1+α)·A(i,i) - Σ_{t<i} L(i,t)²)
+		orig := p.val[hi-1]
+		shifted := (1 + alpha) * orig
+		sum := shifted
 		for k := lo; k < hi-1; k++ {
 			sum -= p.val[k] * p.val[k]
 		}
-		if sum <= 0 {
-			// Breakdown repair: fall back to the (positive) original diagonal.
-			orig := a.At(i, i)
-			if orig <= 0 {
-				for k := lo; k < hi; k++ {
-					colPos[p.colIdx[k]] = -1 // leave the scratch clean for a retry
-				}
-				return ErrNotSPD
+		// The negated comparison catches NaN as well as non-positive and
+		// cancellation-level pivots.
+		if !(sum > ic0PivotRelFloor*math.Abs(shifted)) {
+			for k := lo; k < hi; k++ {
+				colPos[p.colIdx[k]] = -1 // leave the scratch clean for a retry
 			}
-			sum = orig
+			if orig > 0 {
+				return errIC0Breakdown
+			}
+			return ErrNotSPD
 		}
 		p.val[hi-1] = math.Sqrt(sum)
 		for k := lo; k < hi; k++ {
@@ -241,7 +298,6 @@ func (p *IC0Preconditioner) Name() string { return "ic0" }
 type SSORPreconditioner struct {
 	n      int
 	omega  float64
-	a      *CSR
 	diag   []float64
 	scale  float64
 	lower  *CSR // strictly lower triangle
@@ -272,7 +328,7 @@ func NewSSOR(a *CSR, omega float64) (*SSORPreconditioner, error) {
 	}
 	lower := coo.ToCSR()
 	return &SSORPreconditioner{
-		n: a.Rows, omega: omega, a: a, diag: d,
+		n: a.Rows, omega: omega, diag: d,
 		scale: 2 - omega, lower: lower, upperT: lower,
 	}, nil
 }
@@ -305,7 +361,6 @@ func (p *SSORPreconditioner) Refresh(a *CSR) error {
 	if idx != len(p.lower.Val) {
 		return fmt.Errorf("sparse: SSOR refresh with changed sparsity pattern (%d != %d entries)", idx, len(p.lower.Val))
 	}
-	p.a = a
 	return nil
 }
 

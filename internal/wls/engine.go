@@ -30,6 +30,13 @@ type Engine struct {
 	gplan *sparse.GainPlan
 	pool  *sparse.Pool
 
+	// ordPlan caches one fill-reducing-ordered gain plan (ordKind names
+	// its ordering), built lazily from the natural plan's pattern the first
+	// time a solve asks for that ordering. gplan always stays the natural
+	// plan: the Dense path and covariance assembly consume G unpermuted.
+	ordPlan *sparse.GainPlan
+	ordKind OrderingKind
+
 	// Persistent numeric buffers (m = measurements, n = states).
 	baseW, w, z, h, r, wr []float64 // length m
 	rhs, dx, prevDx       []float64 // length n
@@ -152,9 +159,12 @@ func (e *Engine) estimateWeighted(ctx context.Context, opts Options, scale []flo
 		if opts.Solver == QR {
 			dx, err = solveQR(hj, e.w, e.r)
 		} else {
-			g := e.refreshGain(hj, opts)
+			gp, gerr := e.refreshGain(hj, opts)
+			if gerr != nil {
+				return nil, gerr
+			}
 			sparse.GainRHSInto(e.rhs, hj, e.w, e.r, e.wr)
-			dx, cgIters, err = e.solveGain(g, opts, cgTol)
+			dx, cgIters, err = e.solveGain(gp, opts, cgTol)
 		}
 		if err != nil {
 			return nil, err
@@ -198,10 +208,13 @@ func (e *Engine) SolveLinear(opts Options) (*Result, error) {
 		if cgTol <= 0 {
 			cgTol = 1e-12
 		}
-		g := e.refreshGain(hj, opts)
+		gp, gerr := e.refreshGain(hj, opts)
+		if gerr != nil {
+			return nil, fmt.Errorf("wls: linear PMU solve: %w", gerr)
+		}
 		sparse.GainRHSInto(e.rhs, hj, e.w, e.r, e.wr)
 		e.havePrevDx = false
-		dx, res.CGIterations, err = e.solveGain(g, opts, cgTol)
+		dx, res.CGIterations, err = e.solveGain(gp, opts, cgTol)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("wls: linear PMU solve: %w", err)
@@ -225,19 +238,70 @@ func (e *Engine) finish(res *Result, x []float64) {
 	}
 }
 
-// refreshGain recomputes G = HᵀWH in place through the gain plan, on the
-// pool unless the caller forces serial execution.
-func (e *Engine) refreshGain(hj *sparse.CSR, opts Options) *sparse.CSR {
-	if opts.Workers == 1 {
-		return e.gplan.Refresh(hj, e.w)
+// resolveOrdering maps the user-facing Ordering knob to a concrete ordering
+// for this solve. Only the PCG path reorders: the Dense solver and the
+// covariance assembly read G in natural order, and QR never forms G.
+func resolveOrdering(opts Options) OrderingKind {
+	if opts.Solver != PCG {
+		return OrderNatural
 	}
-	return e.gplan.RefreshPool(hj, e.w, e.pool)
+	if opts.Ordering == OrderAuto {
+		if opts.Precond == PrecondIC0 || opts.Precond == PrecondSSOR {
+			return OrderRCM
+		}
+		return OrderNatural
+	}
+	return opts.Ordering
+}
+
+// gplanFor returns the gain plan for the requested ordering, building and
+// caching the ordered plan on first use. The permutation is computed from
+// the natural plan's gain pattern (one RCM/min-degree pass) and baked into
+// a second scatter plan — pure symbolic work, repaid on every refresh.
+func (e *Engine) gplanFor(kind OrderingKind) (*sparse.GainPlan, error) {
+	switch kind {
+	case OrderAuto, OrderNatural:
+		return e.gplan, nil
+	case OrderRCM, OrderMinDegree:
+	default:
+		return nil, fmt.Errorf("wls: unknown ordering %v", kind)
+	}
+	if e.ordPlan != nil && e.ordKind == kind {
+		return e.ordPlan, nil
+	}
+	var perm []int
+	if kind == OrderRCM {
+		perm = sparse.RCM(e.gplan.G)
+	} else {
+		perm = sparse.MinDegree(e.gplan.G)
+	}
+	e.ordPlan = sparse.NewGainPlanOrdered(e.jplan.H, perm)
+	e.ordKind = kind
+	return e.ordPlan, nil
+}
+
+// refreshGain recomputes G = HᵀWH in place through the gain plan of the
+// resolved ordering, on the pool unless the caller forces serial execution.
+func (e *Engine) refreshGain(hj *sparse.CSR, opts Options) (*sparse.GainPlan, error) {
+	gp, err := e.gplanFor(resolveOrdering(opts))
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers == 1 {
+		gp.Refresh(hj, e.w)
+	} else {
+		gp.RefreshPool(hj, e.w, e.pool)
+	}
+	return gp, nil
 }
 
 // solveGain solves G·Δx = rhs with the configured solver, reusing the
 // preconditioner numerics, the CG workspace, and the previous Δx as a CG
-// warm start.
-func (e *Engine) solveGain(g *sparse.CSR, opts Options, cgTol float64) ([]float64, int, error) {
+// warm start. gp's G (and therefore the preconditioner built from it) may
+// live in permuted space; rhs and the returned Δx are always in natural
+// order — CG handles the boundary permutes.
+func (e *Engine) solveGain(gp *sparse.GainPlan, opts Options, cgTol float64) ([]float64, int, error) {
+	g := gp.G
 	switch opts.Solver {
 	case Dense:
 		x, err := sparse.SolveDense(g.ToDense(), e.rhs)
@@ -253,7 +317,7 @@ func (e *Engine) solveGain(g *sparse.CSR, opts Options, cgTol float64) ([]float6
 		if err != nil {
 			return nil, 0, fmt.Errorf("wls: preconditioner: %w", err)
 		}
-		cgOpts := sparse.CGOptions{Tol: cgTol, Precond: pre, Work: e.work}
+		cgOpts := sparse.CGOptions{Tol: cgTol, Precond: pre, Work: e.work, Perm: gp.Perm()}
 		if opts.Workers > 0 {
 			cgOpts.Workers = opts.Workers
 		} else {

@@ -145,14 +145,18 @@ func engineTestModel(t *testing.T, build func() *grid.Network, noise float64, se
 }
 
 func TestEngineMatchesLegacyEstimate(t *testing.T) {
+	// The legacy path always assembles in natural order, so the ic0/ssor
+	// cases pin Ordering explicitly (OrderAuto would pick RCM for them);
+	// the ordered path is compared against legacy separately in
+	// TestEngineOrderedMatchesLegacy at the looser permuted-solve tolerance.
 	cases := []struct {
 		name string
 		opts Options
 	}{
 		{"pcg-jacobi", Options{}},
 		{"pcg-none", Options{Precond: PrecondNone}},
-		{"pcg-ic0", Options{Precond: PrecondIC0}},
-		{"pcg-ssor", Options{Precond: PrecondSSOR}},
+		{"pcg-ic0", Options{Precond: PrecondIC0, Ordering: OrderNatural}},
+		{"pcg-ssor", Options{Precond: PrecondSSOR, Ordering: OrderNatural}},
 		{"pcg-serial", Options{Workers: 1}},
 		{"dense", Options{Solver: Dense}},
 		{"qr", Options{Solver: QR}},
@@ -206,6 +210,87 @@ func TestEngineMatchesLegacyOn118(t *testing.T) {
 	}
 	if got.CGIterations > want.CGIterations {
 		t.Errorf("warm-started CG used more iterations: engine %d, legacy %d", got.CGIterations, want.CGIterations)
+	}
+}
+
+// TestEngineOrderedMatchesLegacy pins the fill-reducing-ordered PCG path
+// against the natural-order legacy solve: the permutation changes the CG
+// iterates (and usually the iteration count), not the solution, so states
+// must agree to 1e-10 — the permuted-solve acceptance tolerance, well under
+// measurement precision though looser than the bitwise natural-path 1e-12.
+func TestEngineOrderedMatchesLegacy(t *testing.T) {
+	mod := engineTestModel(t, grid.Case118, 0.01, 7)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"ic0-rcm", Options{Precond: PrecondIC0, Ordering: OrderRCM}},
+		{"ic0-auto", Options{Precond: PrecondIC0}}, // auto resolves to RCM
+		{"ic0-mindeg", Options{Precond: PrecondIC0, Ordering: OrderMinDegree}},
+		{"ssor-rcm", Options{Precond: PrecondSSOR, Ordering: OrderRCM}},
+		{"jacobi-rcm", Options{Ordering: OrderRCM}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := tc.opts
+			legacy.Ordering = OrderNatural
+			want, err := legacyEstimate(mod, legacy, nil)
+			if err != nil {
+				t.Fatalf("legacy: %v", err)
+			}
+			got, err := Estimate(mod, tc.opts)
+			if err != nil {
+				t.Fatalf("ordered engine: %v", err)
+			}
+			for i := range want.X {
+				if d := math.Abs(got.X[i] - want.X[i]); d > 1e-10 {
+					t.Fatalf("x[%d]: ordered %v legacy %v (|Δ|=%.3g > 1e-10)", i, got.X[i], want.X[i], d)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineRCMReducesIC0Iterations is the ordering payoff on the 118-bus
+// gain matrix: IC(0) on the RCM-permuted pattern captures more of the true
+// factor, so PCG must take strictly fewer iterations than with natural
+// ordering.
+func TestEngineRCMReducesIC0Iterations(t *testing.T) {
+	mod := engineTestModel(t, grid.Case118, 0.01, 7)
+	natural, err := NewEngine(mod).Estimate(Options{Precond: PrecondIC0, Ordering: OrderNatural})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcm, err := NewEngine(mod).Estimate(Options{Precond: PrecondIC0, Ordering: OrderRCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcm.CGIterations >= natural.CGIterations {
+		t.Fatalf("RCM ordering did not reduce IC(0) PCG iterations: rcm %d, natural %d",
+			rcm.CGIterations, natural.CGIterations)
+	}
+	t.Logf("ic0 cg-iters: natural %d, rcm %d", natural.CGIterations, rcm.CGIterations)
+}
+
+// TestEngineOrderingSwitch flips one engine between orderings: the ordered
+// plan cache and the preconditioner must rebuild cleanly each way, and both
+// directions must keep producing the natural-order result.
+func TestEngineOrderingSwitch(t *testing.T) {
+	mod := engineTestModel(t, grid.Case14, 0.01, 4)
+	eng := NewEngine(mod)
+	want, err := eng.Estimate(Options{Precond: PrecondIC0, Ordering: OrderNatural})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range []OrderingKind{OrderRCM, OrderNatural, OrderMinDegree, OrderRCM} {
+		got, err := eng.Estimate(Options{Precond: PrecondIC0, Ordering: ord})
+		if err != nil {
+			t.Fatalf("ordering %v: %v", ord, err)
+		}
+		for i := range want.X {
+			if d := math.Abs(got.X[i] - want.X[i]); d > 1e-10 {
+				t.Fatalf("ordering %v: x[%d] |Δ|=%.3g > 1e-10", ord, i, d)
+			}
+		}
 	}
 }
 

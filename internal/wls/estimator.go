@@ -58,6 +58,39 @@ func (p PrecondKind) String() string {
 	}
 }
 
+// OrderingKind selects the fill-reducing ordering applied to the gain
+// matrix before the PCG solve. The permutation is symbolic work: it is
+// computed once per sparsity pattern and baked into the gain plan's scatter
+// map, so choosing an ordering costs nothing per iteration.
+type OrderingKind int
+
+// Gain-matrix orderings. OrderAuto picks RCM whenever the preconditioner
+// is a zero-fill incomplete factorization (IC(0)) or a triangular sweep
+// (SSOR) — the cases where bandwidth reduction tightens the preconditioner
+// — and natural ordering otherwise (Jacobi and unpreconditioned CG are
+// permutation-invariant, so reordering would only add boundary work).
+const (
+	OrderAuto OrderingKind = iota
+	OrderNatural
+	OrderRCM
+	OrderMinDegree
+)
+
+func (o OrderingKind) String() string {
+	switch o {
+	case OrderAuto:
+		return "auto"
+	case OrderNatural:
+		return "natural"
+	case OrderRCM:
+		return "rcm"
+	case OrderMinDegree:
+		return "mindeg"
+	default:
+		return fmt.Sprintf("OrderingKind(%d)", int(o))
+	}
+}
+
 // Options controls the Gauss–Newton WLS iteration.
 type Options struct {
 	// Tol is the convergence tolerance on ‖Δx‖∞. Zero selects 1e-6.
@@ -68,6 +101,10 @@ type Options struct {
 	Solver SolverKind
 	// Precond selects the PCG preconditioner (default Jacobi).
 	Precond PrecondKind
+	// Ordering selects the fill-reducing gain-matrix ordering for the PCG
+	// solve (default OrderAuto: RCM for IC(0)/SSOR, natural otherwise).
+	// Ignored by the Dense and QR solvers.
+	Ordering OrderingKind
 	// CGTol is the inner CG relative tolerance. Zero selects 1e-10.
 	CGTol float64
 	// Workers is the goroutine count for parallel mat-vec inside PCG.
