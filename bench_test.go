@@ -19,6 +19,7 @@ import (
 	"repro/internal/medici"
 	"repro/internal/partition"
 	"repro/internal/powerflow"
+	"repro/internal/sparse"
 	"repro/internal/wls"
 )
 
@@ -230,14 +231,74 @@ func BenchmarkEndToEndDSE(b *testing.B) {
 }
 
 // BenchmarkCentralizedWLS118 is the baseline the paper compares against:
-// one full-system WLS solve on IEEE-118.
+// one full-system WLS solve on IEEE-118, crossed with the gain-matrix
+// storage format. The formats are forced explicitly because FormatAuto
+// keeps the 118-bus gain (nnz below the parallel threshold) on scalar
+// CSR; the csr row is therefore the historical default.
 func BenchmarkCentralizedWLS118(b *testing.B) {
 	fx := benchFixture(b)
-	for i := 0; i < b.N; i++ {
-		if _, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas, wls.Options{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, f := range []struct {
+		name string
+		opts wls.Options
+	}{
+		{"csr", wls.Options{Format: wls.FormatCSR}},
+		{"bsr", wls.Options{Format: wls.FormatBSR}},
+		{"bjacobi", wls.Options{Precond: wls.PrecondBlockJacobi}},
+	} {
+		b.Run(f.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas, f.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+}
+
+// BenchmarkGainKernels118 isolates the two hot gain-matrix kernels of the
+// PCG solve — numeric refresh G = HᵀWH and mat-vec y = G·x — on the
+// IEEE-118 gain in scalar CSR versus 2×2 bus-blocked BSR, both through
+// the same bus-interleaved ordering so only the storage layout differs.
+// This is the kernel-level speedup the blocked format exists for.
+func BenchmarkGainKernels118(b *testing.B) {
+	fx := benchFixture(b)
+	ref := fx.Net.SlackIndex()
+	mod, err := meas.NewModel(fx.Net, fx.Meas, ref, fx.Truth.Va[ref])
+	if err != nil {
+		b.Fatal(err)
+	}
+	hj := mod.Jacobian(mod.FlatVec())
+	w := mod.Weights()
+	perm := sparse.BusInterleave(mod.NAngles(), fx.Net.N(), mod.RefBus(), nil)
+	gp := sparse.NewGainPlanOrdered(hj, perm)
+	g := gp.Refresh(hj, w)
+	bm := gp.RefreshBSR(hj, w)
+
+	b.Run("refresh/csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gp.Refresh(hj, w)
+		}
+	})
+	b.Run("refresh/bsr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gp.RefreshBSR(hj, w)
+		}
+	})
+	x := make([]float64, bm.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)
+	}
+	y := make([]float64, bm.Rows)
+	b.Run("matvec/csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.MulVec(y[:g.Rows], x[:g.Cols])
+		}
+	})
+	b.Run("matvec/bsr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bm.MulVec(y, x)
+		}
+	})
 }
 
 // BenchmarkPowerFlow118 times the ground-truth generator.
@@ -258,14 +319,20 @@ func BenchmarkPowerFlow118(b *testing.B) {
 // invariant, so its orderings should tie — a built-in sanity row.
 func BenchmarkAblationPreconditioner(b *testing.B) {
 	fx := benchFixture(b)
+	// The format axis keeps the historical csr row names unchanged (they
+	// anchor cross-run comparisons) and adds blocked variants: jacobi on
+	// the BSR gain, and the 2×2 block-Jacobi preconditioner (BSR-only).
 	precs := []struct {
-		name string
-		kind wls.PrecondKind
+		name   string
+		kind   wls.PrecondKind
+		format wls.FormatKind
 	}{
-		{"none", wls.PrecondNone},
-		{"jacobi", wls.PrecondJacobi},
-		{"ic0", wls.PrecondIC0},
-		{"ssor", wls.PrecondSSOR},
+		{"none", wls.PrecondNone, wls.FormatAuto},
+		{"jacobi", wls.PrecondJacobi, wls.FormatAuto},
+		{"ic0", wls.PrecondIC0, wls.FormatAuto},
+		{"ssor", wls.PrecondSSOR, wls.FormatAuto},
+		{"jacobi-bsr", wls.PrecondJacobi, wls.FormatBSR},
+		{"bjacobi", wls.PrecondBlockJacobi, wls.FormatAuto},
 	}
 	orders := []struct {
 		name string
@@ -284,7 +351,7 @@ func BenchmarkAblationPreconditioner(b *testing.B) {
 				var cg int
 				for i := 0; i < b.N; i++ {
 					res, err := core.CentralizedEstimate(context.Background(), fx.Net, fx.Meas,
-						wls.Options{Precond: p.kind, Ordering: o.kind})
+						wls.Options{Precond: p.kind, Ordering: o.kind, Format: p.format})
 					if err != nil {
 						b.Fatal(err)
 					}

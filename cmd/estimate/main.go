@@ -23,7 +23,8 @@ func main() {
 		noise    = flag.Float64("noise", 1.0, "meter noise level (1 = nominal)")
 		seed     = flag.Int64("seed", 42, "measurement noise seed")
 		solver   = flag.String("solver", "pcg", "gain-matrix solver: pcg|dense|qr")
-		precond  = flag.String("precond", "jacobi", "PCG preconditioner: none|jacobi|ic0|ssor")
+		precond  = flag.String("precond", "jacobi", "PCG preconditioner: none|jacobi|bjacobi|ic0|ssor")
+		format   = flag.String("format", "auto", "gain-matrix layout: auto|csr|bsr")
 		workers  = flag.Int("workers", 0, "parallel mat-vec workers (0 = GOMAXPROCS)")
 		plan     = flag.String("plan", "full", "metering plan: full|rtu|pmu")
 		baddata  = flag.Bool("baddata", false, "run chi-square bad-data detection")
@@ -80,8 +81,20 @@ func main() {
 		opts.Precond = gridse.PrecondIC0
 	case "ssor":
 		opts.Precond = gridse.PrecondSSOR
+	case "bjacobi":
+		opts.Precond = gridse.PrecondBlockJacobi
 	default:
 		log.Fatalf("unknown preconditioner %q", *precond)
+	}
+	switch *format {
+	case "auto":
+		opts.Format = gridse.FormatAuto
+	case "csr":
+		opts.Format = gridse.FormatCSR
+	case "bsr":
+		opts.Format = gridse.FormatBSR
+	default:
+		log.Fatalf("unknown format %q", *format)
 	}
 
 	var res *gridse.EstimatorResult

@@ -165,15 +165,19 @@ type (
 	Observability = wls.Observability
 )
 
-// Estimator solver and preconditioner choices.
+// Estimator solver, preconditioner, and gain-layout choices.
 const (
-	SolverPCG     = wls.PCG
-	SolverDense   = wls.Dense
-	SolverQR      = wls.QR
-	PrecondJacobi = wls.PrecondJacobi
-	PrecondNone   = wls.PrecondNone
-	PrecondIC0    = wls.PrecondIC0
-	PrecondSSOR   = wls.PrecondSSOR
+	SolverPCG          = wls.PCG
+	SolverDense        = wls.Dense
+	SolverQR           = wls.QR
+	PrecondJacobi      = wls.PrecondJacobi
+	PrecondNone        = wls.PrecondNone
+	PrecondIC0         = wls.PrecondIC0
+	PrecondSSOR        = wls.PrecondSSOR
+	PrecondBlockJacobi = wls.PrecondBlockJacobi
+	FormatAuto         = wls.FormatAuto
+	FormatCSR          = wls.FormatCSR
+	FormatBSR          = wls.FormatBSR
 )
 
 // Estimate runs centralized WLS state estimation with default options,

@@ -6,6 +6,20 @@ import (
 	"math"
 )
 
+// Operator is the square sparse matrix interface the CG solver iterates
+// against: the scalar CSR layout and the 2×2-blocked BSR layout both
+// implement it. The unexported methods keep the set closed — they let CG
+// cache an nnz-balanced row partition in its workspace and run the pooled
+// mat-vec without per-iteration boundary searches.
+type Operator interface {
+	Dims() (rows, cols int)
+	NNZ() int
+	MulVec(y, x []float64)
+	MulVecParallel(y, x []float64, workers int)
+	partitionRows(bounds []int, parts int)
+	mulVecRanges(y, x []float64, p *Pool, bounds []int)
+}
+
 // CGOptions controls the preconditioned conjugate-gradient solver.
 type CGOptions struct {
 	// Tol is the relative residual tolerance ‖b−A·x‖₂ ≤ Tol·‖b‖₂.
@@ -37,7 +51,11 @@ type CGOptions struct {
 	// GainPlan ordering convention). b, X0, and the returned X stay in
 	// original space — CG permutes b and the warm start inward and the
 	// solution outward using workspace-backed buffers, so repeated permuted
-	// solves still allocate nothing.
+	// solves still allocate nothing. Entries may be −1 to mark padding
+	// variables a blocked operator appends (see BSR): a padding position
+	// gathers 0 from b and is skipped on the outward scatter, so len(Perm)
+	// tracks the operator dimension while b and X0 keep the original
+	// (unpadded) length.
 	Perm []int
 }
 
@@ -48,6 +66,32 @@ type CGOptions struct {
 type CGWorkspace struct {
 	X, r, z, p, ap []float64
 	bp, xp         []float64 // permuted-space b and iterate (CGOptions.Perm)
+
+	// Cached nnz-balanced partition for the pooled mat-vec: computing the
+	// row boundaries costs two binary searches per worker, which the PCG
+	// loop would otherwise repeat every iteration. The cache is keyed on
+	// the operator identity and part count; a refresh that rewrites values
+	// in place keeps the pattern, so the bounds stay valid across solves.
+	mvBounds []int
+	mvOp     Operator
+	mvParts  int
+}
+
+// partition returns the cached nnz-balanced row partition of a into parts
+// contiguous ranges, recomputing it only when the operator or part count
+// changed since the last solve.
+func (w *CGWorkspace) partition(a Operator, parts int) []int {
+	if w.mvOp == a && w.mvParts == parts && len(w.mvBounds) == parts+1 {
+		return w.mvBounds
+	}
+	if cap(w.mvBounds) < parts+1 {
+		w.mvBounds = make([]int, parts+1)
+	}
+	w.mvBounds = w.mvBounds[:parts+1]
+	a.partitionRows(w.mvBounds, parts)
+	w.mvOp = a
+	w.mvParts = parts
+	return w.mvBounds
 }
 
 // NewCGWorkspace returns a workspace pre-sized for n-dimensional systems.
@@ -100,14 +144,16 @@ var ErrCGDiverged = errors.New("sparse: conjugate gradient did not converge")
 const warmStartGate = 0.01
 
 // CG solves A·x = b for symmetric positive-definite A using the
-// preconditioned conjugate-gradient method. The returned CGResult is valid
-// even on ErrCGDiverged (it holds the best iterate reached).
-func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
-	if a.Rows != a.Cols {
-		return CGResult{}, fmt.Errorf("sparse: CG requires square matrix, got %dx%d", a.Rows, a.Cols)
+// preconditioned conjugate-gradient method. A may be a scalar *CSR or a
+// blocked *BSR operator. The returned CGResult is valid even on
+// ErrCGDiverged (it holds the best iterate reached).
+func CG(a Operator, b []float64, opts CGOptions) (CGResult, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return CGResult{}, fmt.Errorf("sparse: CG requires square matrix, got %dx%d", rows, cols)
 	}
-	n := a.Rows
-	if len(b) != n {
+	n := rows
+	if opts.Perm == nil && len(b) != n {
 		return CGResult{}, fmt.Errorf("sparse: CG rhs length %d != %d", len(b), n)
 	}
 	tol := opts.Tol
@@ -130,28 +176,48 @@ func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
 		work = &CGWorkspace{}
 	}
 	work.resize(n)
-	mulVec := func(y, x []float64) {
-		if opts.Pool != nil {
-			a.MulVecPool(y, x, opts.Pool)
-		} else {
-			a.MulVecParallel(y, x, opts.Workers)
+	var mulVec func(y, x []float64)
+	if opts.Pool != nil {
+		parts := opts.Pool.Workers()
+		if parts > n {
+			parts = n
 		}
+		if parts > 1 && a.NNZ() >= parallelNNZThreshold {
+			pool, bounds := opts.Pool, work.partition(a, parts)
+			mulVec = func(y, x []float64) { a.mulVecRanges(y, x, pool, bounds) }
+		} else {
+			mulVec = a.MulVec
+		}
+	} else {
+		workers := opts.Workers
+		mulVec = func(y, x []float64) { a.MulVecParallel(y, x, workers) }
 	}
 
 	// With a fill-reducing permutation, the iteration runs entirely in
 	// permuted space (a and the preconditioner already live there): b is
 	// gathered into the permuted buffer up front, the iterate lives in
 	// work.xp, and finishX scatters the solution back to original order in
-	// work.X. ‖P·b‖₂ = ‖b‖₂, so tolerances are unaffected.
+	// work.X. ‖P·b‖₂ = ‖b‖₂ (padding gathers zeros), so tolerances are
+	// unaffected.
 	perm := opts.Perm
+	orig := b // caller-space rhs; b itself is rebound when permuting
 	x := work.X
 	if perm != nil {
 		if len(perm) != n {
 			return CGResult{}, fmt.Errorf("sparse: CG perm length %d != %d", len(perm), n)
 		}
+		for _, o := range perm {
+			if o >= len(b) {
+				return CGResult{}, fmt.Errorf("sparse: CG perm entry %d out of range for rhs length %d", o, len(b))
+			}
+		}
 		work.resizePerm(n)
 		for i, o := range perm {
-			work.bp[i] = b[o]
+			if o >= 0 {
+				work.bp[i] = b[o]
+			} else {
+				work.bp[i] = 0
+			}
 		}
 		b = work.bp
 		x = work.xp
@@ -161,7 +227,9 @@ func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
 			return x
 		}
 		for i, o := range perm {
-			work.X[o] = x[i]
+			if o >= 0 {
+				work.X[o] = x[i]
+			}
 		}
 		return work.X
 	}
@@ -180,12 +248,16 @@ func CG(a *CSR, b []float64, opts CGOptions) (CGResult, error) {
 	// inside the r-update (axpy) loop below.
 	rr := Dot(r, r)
 	if opts.X0 != nil {
-		if len(opts.X0) != n {
-			return CGResult{}, fmt.Errorf("sparse: CG x0 length %d != %d", len(opts.X0), n)
+		if len(opts.X0) != len(orig) {
+			return CGResult{}, fmt.Errorf("sparse: CG x0 length %d != %d", len(opts.X0), len(orig))
 		}
 		if perm != nil {
 			for i, o := range perm {
-				x[i] = opts.X0[o]
+				if o >= 0 {
+					x[i] = opts.X0[o]
+				} else {
+					x[i] = 0
+				}
 			}
 		} else {
 			copy(x, opts.X0)

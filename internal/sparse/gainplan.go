@@ -37,6 +37,18 @@ type GainPlan struct {
 	// (CGOptions.Perm).
 	perm []int
 
+	// bsr is the lazily built 2×2-blocked mirror of G (AttachBSR), and
+	// bsrPos maps every G entry to its flat slot in bsr.Val so the blocked
+	// refresh writes block storage directly — no scalar intermediate.
+	bsr    *BSR
+	bsrPos []int32
+
+	// rbounds caches the contribution-balanced row partition for rparts
+	// workers; RefreshPool/RefreshPoolBSR would otherwise redo the
+	// workBoundary binary searches on every Gauss–Newton iteration.
+	rbounds []int
+	rparts  int
+
 	hnnz  int // expected nnz of H, to catch pattern drift
 	hrows int
 }
@@ -193,10 +205,93 @@ func (gp *GainPlan) RefreshPool(h *CSR, w []float64, p *Pool) *CSR {
 		gp.refreshRows(h, w, 0, gp.G.Rows)
 		return gp.G
 	}
+	bounds := gp.refreshBounds(parts)
 	p.Run(parts, func(part int) {
-		gp.refreshRows(h, w, gp.workBoundary(part, parts), gp.workBoundary(part+1, parts))
+		gp.refreshRows(h, w, bounds[part], bounds[part+1])
 	})
 	return gp.G
+}
+
+// AttachBSR builds (once) the 2×2-blocked mirror of the plan's gain matrix
+// — a BSR skeleton over G's pattern, padded with a trailing identity
+// variable when the dimension is odd — together with a scatter map from
+// every G entry to its slot in block storage. RefreshBSR/RefreshPoolBSR
+// then rewrite the blocked values directly; G.Val itself is left untouched
+// by the blocked refresh. The blocked layout only pays off when the plan's
+// ordering interleaves each bus's (θ, V) pair (see BusInterleave): that is
+// what lines G's 2×2 bus couplings up with the block grid.
+func (gp *GainPlan) AttachBSR() *BSR {
+	if gp.bsr == nil {
+		gp.bsr, gp.bsrPos = newBSR2From(gp.G)
+	}
+	return gp.bsr
+}
+
+// RefreshBSR recomputes the attached blocked gain matrix from the current
+// numeric values of h and the weights w, serially and without allocating
+// (the first call builds the skeleton via AttachBSR). Same contract as
+// Refresh: h must keep the plan's sparsity pattern.
+func (gp *GainPlan) RefreshBSR(h *CSR, w []float64) *BSR {
+	gp.check(h, w)
+	gp.AttachBSR()
+	gp.refreshRowsBSR(h, w, 0, gp.G.Rows)
+	return gp.bsr
+}
+
+// RefreshPoolBSR is RefreshBSR with rows distributed over the pool using
+// the same contribution-balanced partition as RefreshPool. Each scalar G
+// entry owns a distinct block slot, so workers never write the same index.
+func (gp *GainPlan) RefreshPoolBSR(h *CSR, w []float64, p *Pool) *BSR {
+	gp.check(h, w)
+	gp.AttachBSR()
+	work := len(gp.cA)
+	parts := p.Workers()
+	if parts > gp.G.Rows {
+		parts = gp.G.Rows
+	}
+	if parts <= 1 || work < parallelNNZThreshold {
+		gp.refreshRowsBSR(h, w, 0, gp.G.Rows)
+		return gp.bsr
+	}
+	bounds := gp.refreshBounds(parts)
+	p.Run(parts, func(part int) {
+		gp.refreshRowsBSR(h, w, bounds[part], bounds[part+1])
+	})
+	return gp.bsr
+}
+
+// refreshRowsBSR is refreshRows writing into block storage through the
+// AttachBSR scatter map. The per-entry accumulation order is identical, so
+// a blocked refresh holds the same values as a scalar one bit for bit.
+func (gp *GainPlan) refreshRowsBSR(h *CSR, w []float64, rlo, rhi int) {
+	hv := h.Val
+	bv := gp.bsr.Val
+	for i := rlo; i < rhi; i++ {
+		for g := gp.G.RowPtr[i]; g < gp.G.RowPtr[i+1]; g++ {
+			sum := 0.0
+			for t := gp.entryPtr[g]; t < gp.entryPtr[g+1]; t++ {
+				sum += w[gp.cM[t]] * hv[gp.cA[t]] * hv[gp.cB[t]]
+			}
+			bv[gp.bsrPos[g]] = sum
+		}
+	}
+}
+
+// refreshBounds returns the cached contribution-balanced partition of G's
+// rows into parts ranges, recomputing it only when the part count changes.
+func (gp *GainPlan) refreshBounds(parts int) []int {
+	if gp.rparts == parts && len(gp.rbounds) == parts+1 {
+		return gp.rbounds
+	}
+	if cap(gp.rbounds) < parts+1 {
+		gp.rbounds = make([]int, parts+1)
+	}
+	gp.rbounds = gp.rbounds[:parts+1]
+	for w := 0; w <= parts; w++ {
+		gp.rbounds[w] = gp.workBoundary(w, parts)
+	}
+	gp.rparts = parts
+	return gp.rbounds
 }
 
 // workBoundary mirrors CSR.rowBoundary over the contribution-count prefix.

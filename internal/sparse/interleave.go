@@ -1,0 +1,76 @@
+package sparse
+
+import "fmt"
+
+// BusInterleave returns the bus-interleaving permutation (perm[new] = old)
+// from the stacked WLS state layout `[θ at non-reference buses; V at all
+// buses]` to per-bus (θᵢ, Vᵢ) pairs — the layout that turns the gain
+// matrix's bus couplings into dense 2×2 blocks (see BSR).
+//
+// nAngles must equal nBuses−1 and refBus names the bus without an angle
+// variable; angle positions are assigned in ascending bus order skipping
+// refBus (the meas.Model layout). busOrder, when non-nil, gives the bus
+// visiting order (e.g. a fill-reducing ordering of the bus quotient graph,
+// busOrder[new] = old); nil means ascending. The reference bus is always
+// emitted last regardless of busOrder, so its lone V variable trails the
+// (θ, V) pairs and the blocked matrix needs exactly one trailing padding
+// slot (the identity row/col NewBSR2 appends).
+func BusInterleave(nAngles, nBuses, refBus int, busOrder []int) []int {
+	if nAngles != nBuses-1 {
+		panic(fmt.Sprintf("sparse: BusInterleave nAngles %d != nBuses-1 (%d)", nAngles, nBuses-1))
+	}
+	if refBus < 0 || refBus >= nBuses {
+		panic(fmt.Sprintf("sparse: BusInterleave refBus %d out of range %d", refBus, nBuses))
+	}
+	if busOrder != nil {
+		checkPerm(busOrder, nBuses, "BusInterleave")
+	}
+	perm := make([]int, 0, 2*nBuses-1)
+	emit := func(b int) {
+		if b == refBus {
+			return
+		}
+		theta := b
+		if b > refBus {
+			theta = b - 1
+		}
+		perm = append(perm, theta, nAngles+b)
+	}
+	if busOrder != nil {
+		for _, b := range busOrder {
+			emit(b)
+		}
+	} else {
+		for b := 0; b < nBuses; b++ {
+			emit(b)
+		}
+	}
+	return append(perm, nAngles+refBus)
+}
+
+// Quotient collapses the sparsity pattern of a onto block vertices: the
+// result has one row/column per block and an entry (blockOf[i], blockOf[j])
+// for every stored entry (i, j) of a. Values are occurrence counts — the
+// orderings only read the pattern. It is used to order the bus quotient
+// graph of the gain matrix (RCM/MinDegree over buses) before BusInterleave
+// expands the bus order back to (θ, V) variable pairs.
+func Quotient(a *CSR, blockOf []int, nBlocks int) *CSR {
+	if len(blockOf) != a.Rows || a.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: Quotient blockOf length %d for %dx%d", len(blockOf), a.Rows, a.Cols))
+	}
+	coo := NewCOO(nBlocks, nBlocks)
+	for i := 0; i < a.Rows; i++ {
+		bi := blockOf[i]
+		if bi < 0 || bi >= nBlocks {
+			panic(fmt.Sprintf("sparse: Quotient block %d out of range %d", bi, nBlocks))
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			bj := blockOf[a.ColIdx[k]]
+			if bj < 0 || bj >= nBlocks {
+				panic(fmt.Sprintf("sparse: Quotient block %d out of range %d", bj, nBlocks))
+			}
+			coo.Add(bi, bj, 1)
+		}
+	}
+	return coo.ToCSR()
+}

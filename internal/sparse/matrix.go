@@ -83,6 +83,9 @@ type CSR struct {
 // NNZ returns the number of stored entries.
 func (a *CSR) NNZ() int { return len(a.Val) }
 
+// Dims returns the matrix dimensions.
+func (a *CSR) Dims() (rows, cols int) { return a.Rows, a.Cols }
+
 // sortRowsAndDedup sorts column indices within each row and merges duplicate
 // columns by summing their values, compacting storage in place.
 func (a *CSR) sortRowsAndDedup() {

@@ -7,12 +7,17 @@ import (
 	"sync"
 )
 
-// parallelNNZThreshold is the matrix size (stored entries) below which the
+// ParallelNNZThreshold is the matrix size (stored entries) below which the
 // parallel mat-vec paths fall back to the serial kernel: under it, the
 // fan-out/joins cost more than the multiply itself. The threshold is
 // nnz-based rather than row-based because per-row work varies wildly
-// between a near-diagonal gain matrix and a dense-ish one.
-const parallelNNZThreshold = 16384
+// between a near-diagonal gain matrix and a dense-ish one. It is exported
+// so layout heuristics elsewhere (wls FormatAuto) can agree with the
+// kernels on what "large enough to parallelize" means.
+const ParallelNNZThreshold = 16384
+
+// parallelNNZThreshold is the internal alias predating the export.
+const parallelNNZThreshold = ParallelNNZThreshold
 
 // MulVec computes y = A·x. y must have length A.Rows and x length A.Cols.
 func (a *CSR) MulVec(y, x []float64) {
@@ -85,6 +90,23 @@ func (a *CSR) mulVecRows(y, x []float64, lo, hi int) {
 	}
 }
 
+// partitionRows fills bounds (length parts+1) with the nnz-balanced row
+// partition — the cached form of rowBoundary used by CG, which would
+// otherwise repeat the boundary searches on every PCG iteration. Ad-hoc
+// callers (MulVecPool on a matrix seen once) keep the pure function.
+func (a *CSR) partitionRows(bounds []int, parts int) {
+	for w := 0; w <= parts; w++ {
+		bounds[w] = a.rowBoundary(w, parts)
+	}
+}
+
+// mulVecRanges runs the pooled mat-vec over precomputed partition bounds.
+func (a *CSR) mulVecRanges(y, x []float64, p *Pool, bounds []int) {
+	p.Run(len(bounds)-1, func(w int) {
+		a.mulVecRows(y, x, bounds[w], bounds[w+1])
+	})
+}
+
 // rowBoundary returns the first row of partition w when the matrix rows are
 // split into parts contiguous blocks of roughly equal nnz. It is a pure
 // function of (w, parts) so concurrent workers compute consistent, disjoint
@@ -121,6 +143,55 @@ func (a *CSR) MulTransVec(y, x []float64) {
 			y[a.ColIdx[k]] += a.Val[k] * xi
 		}
 	}
+}
+
+// MulTransVecPool computes y = Aᵀ·x on the persistent pool. The transpose
+// product scatters into y, so rows cannot simply be split the way the
+// forward mat-vec splits them: each worker accumulates its row range into
+// a private slice of scratch (length ≥ parts·A.Cols, caller-owned so
+// steady-state calls allocate nothing), and a second pooled pass reduces
+// the partials column-range-parallel in fixed worker order — the result is
+// deterministic for a given parts count. Falls back to the serial kernel
+// for small matrices, a nil/single-worker pool, or short scratch.
+func (a *CSR) MulTransVecPool(y, x []float64, p *Pool, scratch []float64) {
+	if len(y) != a.Cols || len(x) != a.Rows {
+		panic(fmt.Sprintf("sparse: MulTransVecPool dims y=%d x=%d for %dx%d", len(y), len(x), a.Rows, a.Cols))
+	}
+	parts := p.Workers()
+	if parts > a.Rows {
+		parts = a.Rows
+	}
+	if parts <= 1 || a.NNZ() < parallelNNZThreshold || len(scratch) < parts*a.Cols {
+		a.MulTransVec(y, x)
+		return
+	}
+	cols := a.Cols
+	p.Run(parts, func(w int) {
+		buf := scratch[w*cols : (w+1)*cols]
+		for i := range buf {
+			buf[i] = 0
+		}
+		lo, hi := a.rowBoundary(w, parts), a.rowBoundary(w+1, parts)
+		for i := lo; i < hi; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				buf[a.ColIdx[k]] += a.Val[k] * xi
+			}
+		}
+	})
+	p.Run(parts, func(w int) {
+		clo, chi := cols*w/parts, cols*(w+1)/parts
+		for j := clo; j < chi; j++ {
+			sum := scratch[j]
+			for part := 1; part < parts; part++ {
+				sum += scratch[part*cols+j]
+			}
+			y[j] = sum
+		}
+	})
 }
 
 func (a *CSR) checkMulDims(y, x []float64) {
@@ -174,6 +245,20 @@ func GainRHSInto(dst []float64, h *CSR, w, r, wr []float64) {
 		wr[i] = w[i] * r[i]
 	}
 	h.MulTransVec(dst, wr)
+}
+
+// GainRHSPool is GainRHSInto with the transpose mat-vec on the pool:
+// scratch is the caller-owned partial-accumulator buffer of
+// MulTransVecPool (length ≥ p.Workers()·H.Cols to engage the pooled path;
+// shorter scratch degrades to the serial kernel, preserving results).
+func GainRHSPool(dst []float64, h *CSR, w, r, wr []float64, p *Pool, scratch []float64) {
+	if len(w) != h.Rows || len(r) != h.Rows || len(wr) != h.Rows {
+		panic("sparse: GainRHSPool dimension mismatch")
+	}
+	for i := range wr {
+		wr[i] = w[i] * r[i]
+	}
+	h.MulTransVecPool(dst, wr, p, scratch)
 }
 
 // SelectRows returns the submatrix of A formed by the given rows, in order.

@@ -37,15 +37,39 @@ type Engine struct {
 	ordPlan *sparse.GainPlan
 	ordKind OrderingKind
 
+	// bsrPlan caches the blocked-format gain plan: a gain plan whose baked
+	// permutation interleaves the state into per-bus (θ, V) pairs (composed
+	// with a bus-quotient fill-reducing ordering when requested, bsrOrd),
+	// with the 2×2 BSR mirror attached. bsrPerm is the CG boundary
+	// permutation — the interleave extended by one trailing −1 for the
+	// padding variable the blocked layout appends (the reference bus has no
+	// angle, so the padded dimension is even).
+	bsrPlan *sparse.GainPlan
+	bsrMat  *sparse.BSR
+	bsrPerm []int
+	bsrOrd  OrderingKind
+
 	// Persistent numeric buffers (m = measurements, n = states).
 	baseW, w, z, h, r, wr []float64 // length m
 	rhs, dx, prevDx       []float64 // length n
 	havePrevDx            bool
 	work                  *sparse.CGWorkspace
+	rhsScratch            []float64 // pooled-transpose partial accumulators
 
 	pre     sparse.Preconditioner
 	preKind PrecondKind
+	preBSR  bool // cached preconditioner was built on the blocked layout
 	havePre bool
+}
+
+// gainSystem is the refreshed gain matrix a solve runs against: the plan
+// (whose scalar G the Dense path and scalar preconditioners consume), the
+// blocked mirror when the solve runs in BSR layout, and the CG boundary
+// permutation (padded with −1 for the blocked layout's identity variable).
+type gainSystem struct {
+	gp   *sparse.GainPlan
+	bsr  *sparse.BSR
+	perm []int
 }
 
 // NewEngine builds the symbolic plans and buffers for the model. The cost
@@ -159,12 +183,12 @@ func (e *Engine) estimateWeighted(ctx context.Context, opts Options, scale []flo
 		if opts.Solver == QR {
 			dx, err = solveQR(hj, e.w, e.r)
 		} else {
-			gp, gerr := e.refreshGain(hj, opts)
+			gs, gerr := e.refreshGain(hj, opts)
 			if gerr != nil {
 				return nil, gerr
 			}
-			sparse.GainRHSInto(e.rhs, hj, e.w, e.r, e.wr)
-			dx, cgIters, err = e.solveGain(gp, opts, cgTol)
+			e.gainRHS(hj, opts)
+			dx, cgIters, err = e.solveGain(gs, opts, cgTol)
 		}
 		if err != nil {
 			return nil, err
@@ -208,13 +232,13 @@ func (e *Engine) SolveLinear(opts Options) (*Result, error) {
 		if cgTol <= 0 {
 			cgTol = 1e-12
 		}
-		gp, gerr := e.refreshGain(hj, opts)
+		gs, gerr := e.refreshGain(hj, opts)
 		if gerr != nil {
 			return nil, fmt.Errorf("wls: linear PMU solve: %w", gerr)
 		}
-		sparse.GainRHSInto(e.rhs, hj, e.w, e.r, e.wr)
+		e.gainRHS(hj, opts)
 		e.havePrevDx = false
-		dx, res.CGIterations, err = e.solveGain(gp, opts, cgTol)
+		dx, res.CGIterations, err = e.solveGain(gs, opts, cgTol)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("wls: linear PMU solve: %w", err)
@@ -280,19 +304,120 @@ func (e *Engine) gplanFor(kind OrderingKind) (*sparse.GainPlan, error) {
 	return e.ordPlan, nil
 }
 
+// resolveFormat maps the Format knob to a concrete gain layout for this
+// solve. Only the PCG path has a blocked variant; IC(0) and SSOR are
+// triangular sweeps over scalar storage and silently stay on CSR even
+// under an explicit FormatBSR. FormatAuto engages the blocked layout for
+// the block-friendly preconditioners on systems big enough that the
+// parallel kernels run — on smaller systems the layout change buys nothing
+// and Auto preserves the scalar path exactly.
+func (e *Engine) resolveFormat(opts Options) (FormatKind, error) {
+	if opts.Solver != PCG {
+		return FormatCSR, nil
+	}
+	blockCapable := opts.Precond == PrecondJacobi || opts.Precond == PrecondBlockJacobi || opts.Precond == PrecondNone
+	switch opts.Format {
+	case FormatCSR:
+		if opts.Precond == PrecondBlockJacobi {
+			return FormatCSR, fmt.Errorf("wls: block-jacobi preconditioner requires the BSR gain format")
+		}
+		return FormatCSR, nil
+	case FormatBSR:
+		if !blockCapable {
+			return FormatCSR, nil
+		}
+		return FormatBSR, nil
+	}
+	if opts.Precond == PrecondBlockJacobi {
+		return FormatBSR, nil
+	}
+	if opts.Precond == PrecondJacobi && e.gplan.G.NNZ() >= sparse.ParallelNNZThreshold {
+		return FormatBSR, nil
+	}
+	return FormatCSR, nil
+}
+
+// bsrSystem returns the blocked gain system for this solve, building and
+// caching the interleaved plan on first use. The state is permuted into
+// per-bus (θ, V) pairs (sparse.BusInterleave); an explicit RCM/min-degree
+// request is honored on the bus quotient graph — buses are ordered, then
+// expanded to variable pairs, so the 2×2 block grid survives the
+// reordering. OrderAuto stays in natural bus order: the blocked
+// preconditioners are permutation-invariant, so reordering would only add
+// symbolic cost.
+func (e *Engine) bsrSystem(opts Options) gainSystem {
+	kind := OrderNatural
+	if opts.Ordering == OrderRCM || opts.Ordering == OrderMinDegree {
+		kind = opts.Ordering
+	}
+	if e.bsrPlan == nil || e.bsrOrd != kind {
+		mod := e.mod
+		nb := mod.Net.N()
+		var busOrder []int
+		if kind != OrderNatural {
+			q := sparse.Quotient(e.gplan.G, mod.StateBus(), nb)
+			if kind == OrderRCM {
+				busOrder = sparse.RCM(q)
+			} else {
+				busOrder = sparse.MinDegree(q)
+			}
+		}
+		perm := sparse.BusInterleave(mod.NAngles(), nb, mod.RefBus(), busOrder)
+		e.bsrPlan = sparse.NewGainPlanOrdered(e.jplan.H, perm)
+		bsr := e.bsrPlan.AttachBSR()
+		cgPerm := make([]int, bsr.Rows)
+		copy(cgPerm, perm)
+		for i := len(perm); i < len(cgPerm); i++ {
+			cgPerm[i] = -1
+		}
+		e.bsrMat, e.bsrPerm, e.bsrOrd = bsr, cgPerm, kind
+	}
+	return gainSystem{gp: e.bsrPlan, bsr: e.bsrMat, perm: e.bsrPerm}
+}
+
 // refreshGain recomputes G = HᵀWH in place through the gain plan of the
-// resolved ordering, on the pool unless the caller forces serial execution.
-func (e *Engine) refreshGain(hj *sparse.CSR, opts Options) (*sparse.GainPlan, error) {
+// resolved format and ordering, on the pool unless the caller forces
+// serial execution. In BSR layout the refresh writes block storage
+// directly — the scalar G of the blocked plan is never materialized.
+func (e *Engine) refreshGain(hj *sparse.CSR, opts Options) (gainSystem, error) {
+	format, err := e.resolveFormat(opts)
+	if err != nil {
+		return gainSystem{}, err
+	}
+	if format == FormatBSR {
+		gs := e.bsrSystem(opts)
+		if opts.Workers == 1 {
+			gs.gp.RefreshBSR(hj, e.w)
+		} else {
+			gs.gp.RefreshPoolBSR(hj, e.w, e.pool)
+		}
+		return gs, nil
+	}
 	gp, err := e.gplanFor(resolveOrdering(opts))
 	if err != nil {
-		return nil, err
+		return gainSystem{}, err
 	}
 	if opts.Workers == 1 {
 		gp.Refresh(hj, e.w)
 	} else {
 		gp.RefreshPool(hj, e.w, e.pool)
 	}
-	return gp, nil
+	return gainSystem{gp: gp, perm: gp.Perm()}, nil
+}
+
+// gainRHS computes rhs = Hᵀ·W·r, using the pooled transpose mat-vec (with
+// the engine-owned partial-accumulator scratch) unless the caller forces
+// serial execution. Small systems fall back to the serial kernel inside
+// MulTransVecPool, so results are unchanged where the pool cannot pay off.
+func (e *Engine) gainRHS(hj *sparse.CSR, opts Options) {
+	if opts.Workers == 1 {
+		sparse.GainRHSInto(e.rhs, hj, e.w, e.r, e.wr)
+		return
+	}
+	if need := e.pool.Workers() * len(e.rhs); len(e.rhsScratch) < need {
+		e.rhsScratch = make([]float64, need)
+	}
+	sparse.GainRHSPool(e.rhs, hj, e.w, e.r, e.wr, e.pool, e.rhsScratch)
 }
 
 // solveGain solves G·Δx = rhs with the configured solver, reusing the
@@ -300,8 +425,8 @@ func (e *Engine) refreshGain(hj *sparse.CSR, opts Options) (*sparse.GainPlan, er
 // warm start. gp's G (and therefore the preconditioner built from it) may
 // live in permuted space; rhs and the returned Δx are always in natural
 // order — CG handles the boundary permutes.
-func (e *Engine) solveGain(gp *sparse.GainPlan, opts Options, cgTol float64) ([]float64, int, error) {
-	g := gp.G
+func (e *Engine) solveGain(gs gainSystem, opts Options, cgTol float64) ([]float64, int, error) {
+	g := gs.gp.G
 	switch opts.Solver {
 	case Dense:
 		x, err := sparse.SolveDense(g.ToDense(), e.rhs)
@@ -313,11 +438,19 @@ func (e *Engine) solveGain(gp *sparse.GainPlan, opts Options, cgTol float64) ([]
 		}
 		return x, 0, nil
 	case PCG:
-		pre, err := e.preconditioner(g, opts.Precond)
+		var op sparse.Operator = g
+		var pre sparse.Preconditioner
+		var err error
+		if gs.bsr != nil {
+			op = gs.bsr
+			pre, err = e.preconditionerBSR(gs.bsr, opts.Precond)
+		} else {
+			pre, err = e.preconditioner(g, opts.Precond)
+		}
 		if err != nil {
 			return nil, 0, fmt.Errorf("wls: preconditioner: %w", err)
 		}
-		cgOpts := sparse.CGOptions{Tol: cgTol, Precond: pre, Work: e.work, Perm: gp.Perm()}
+		cgOpts := sparse.CGOptions{Tol: cgTol, Precond: pre, Work: e.work, Perm: gs.perm}
 		if opts.Workers > 0 {
 			cgOpts.Workers = opts.Workers
 		} else {
@@ -326,7 +459,7 @@ func (e *Engine) solveGain(gp *sparse.GainPlan, opts Options, cgTol float64) ([]
 		if e.havePrevDx {
 			cgOpts.X0 = e.prevDx
 		}
-		cg, err := sparse.CG(g, e.rhs, cgOpts)
+		cg, err := sparse.CG(op, e.rhs, cgOpts)
 		if err != nil {
 			if errors.Is(err, sparse.ErrNotSPD) {
 				return nil, cg.Iterations, ErrUnobservable
@@ -351,7 +484,7 @@ func (e *Engine) preconditioner(g *sparse.CSR, kind PrecondKind) (sparse.Precond
 	if kind == PrecondNone {
 		return sparse.IdentityPreconditioner{}, nil
 	}
-	if e.havePre && e.preKind == kind {
+	if e.havePre && e.preKind == kind && !e.preBSR {
 		if ref, ok := e.pre.(sparse.Refresher); ok {
 			if err := ref.Refresh(g); err == nil {
 				return e.pre, nil
@@ -370,6 +503,8 @@ func (e *Engine) preconditioner(g *sparse.CSR, kind PrecondKind) (sparse.Precond
 		pre, err = sparse.NewIC0(g)
 	case PrecondSSOR:
 		pre, err = sparse.NewSSOR(g, 1.0)
+	case PrecondBlockJacobi:
+		return nil, fmt.Errorf("wls: block-jacobi preconditioner requires the BSR gain format")
 	default:
 		return nil, fmt.Errorf("wls: unknown preconditioner %v", kind)
 	}
@@ -377,7 +512,42 @@ func (e *Engine) preconditioner(g *sparse.CSR, kind PrecondKind) (sparse.Precond
 		e.havePre = false
 		return nil, err
 	}
-	e.pre, e.preKind, e.havePre = pre, kind, true
+	e.pre, e.preKind, e.preBSR, e.havePre = pre, kind, false, true
+	return pre, nil
+}
+
+// preconditionerBSR is the blocked-layout counterpart of preconditioner:
+// it refreshes the cached preconditioner through sparse.BSRRefresher when
+// the kind is unchanged, and otherwise builds Jacobi or block-Jacobi from
+// the blocked diagonal. The padding variable's unit diagonal passes its
+// residual component through unchanged under either.
+func (e *Engine) preconditionerBSR(a *sparse.BSR, kind PrecondKind) (sparse.Preconditioner, error) {
+	if kind == PrecondNone {
+		return sparse.IdentityPreconditioner{}, nil
+	}
+	if e.havePre && e.preKind == kind && e.preBSR {
+		if ref, ok := e.pre.(sparse.BSRRefresher); ok {
+			if err := ref.RefreshBSR(a); err == nil {
+				return e.pre, nil
+			}
+			e.havePre = false
+		}
+	}
+	var pre sparse.Preconditioner
+	var err error
+	switch kind {
+	case PrecondJacobi:
+		pre, err = sparse.NewJacobiBSR(a)
+	case PrecondBlockJacobi:
+		pre, err = sparse.NewBlockJacobi(a)
+	default:
+		return nil, fmt.Errorf("wls: preconditioner %v does not support the BSR gain format", kind)
+	}
+	if err != nil {
+		e.havePre = false
+		return nil, err
+	}
+	e.pre, e.preKind, e.preBSR, e.havePre = pre, kind, true, true
 	return pre, nil
 }
 

@@ -41,6 +41,10 @@ const (
 	PrecondNone
 	PrecondIC0
 	PrecondSSOR
+	// PrecondBlockJacobi inverts the 2×2 per-bus (θ, V) diagonal blocks of
+	// the gain matrix exactly. It requires the blocked gain layout and
+	// therefore implies FormatBSR (an explicit FormatCSR is rejected).
+	PrecondBlockJacobi
 )
 
 func (p PrecondKind) String() string {
@@ -53,6 +57,8 @@ func (p PrecondKind) String() string {
 		return "ic0"
 	case PrecondSSOR:
 		return "ssor"
+	case PrecondBlockJacobi:
+		return "block-jacobi"
 	default:
 		return fmt.Sprintf("PrecondKind(%d)", int(p))
 	}
@@ -91,6 +97,38 @@ func (o OrderingKind) String() string {
 	}
 }
 
+// FormatKind selects the storage layout of the gain matrix for the PCG
+// solve. The layout is a pure performance knob: both formats assemble the
+// same contributions in the same order, so switching formats never changes
+// the estimate beyond the roundoff already inherent in reordering.
+type FormatKind int
+
+// Gain-matrix layouts. FormatBSR interleaves the state into per-bus
+// (θᵢ, Vᵢ) pairs and stores the gain matrix as dense 2×2 blocks — half the
+// index traffic per value and unrolled block mat-vecs. FormatAuto picks
+// BSR for the block-friendly preconditioners (Jacobi, block-Jacobi) on
+// systems large enough for the parallel kernels to engage, and scalar CSR
+// otherwise; IC(0) and SSOR always run on scalar CSR. Dense and QR solvers
+// ignore the knob.
+const (
+	FormatAuto FormatKind = iota
+	FormatCSR
+	FormatBSR
+)
+
+func (f FormatKind) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatCSR:
+		return "csr"
+	case FormatBSR:
+		return "bsr"
+	default:
+		return fmt.Sprintf("FormatKind(%d)", int(f))
+	}
+}
+
 // Options controls the Gauss–Newton WLS iteration.
 type Options struct {
 	// Tol is the convergence tolerance on ‖Δx‖∞. Zero selects 1e-6.
@@ -103,8 +141,13 @@ type Options struct {
 	Precond PrecondKind
 	// Ordering selects the fill-reducing gain-matrix ordering for the PCG
 	// solve (default OrderAuto: RCM for IC(0)/SSOR, natural otherwise).
-	// Ignored by the Dense and QR solvers.
+	// Under FormatBSR the ordering acts on the bus quotient graph — buses
+	// are ordered, then expanded to (θ, V) pairs. Ignored by the Dense and
+	// QR solvers.
 	Ordering OrderingKind
+	// Format selects the gain-matrix storage layout for the PCG solve
+	// (default FormatAuto). See FormatKind.
+	Format FormatKind
 	// CGTol is the inner CG relative tolerance. Zero selects 1e-10.
 	CGTol float64
 	// Workers is the goroutine count for parallel mat-vec inside PCG.
