@@ -508,6 +508,43 @@ func BenchmarkRoundsStudy(b *testing.B) {
 	b.ReportMetric(pts[len(pts)-1].BoundaryRMSVa*1e6, "final-rms-microrad")
 }
 
+// BenchmarkDSE118Rounds runs the in-process two-step DSE on IEEE-118
+// across Step-2 round counts. With the session layer, every round past
+// the first is a value-only refresh of the Step-2 skeletons with a
+// warm-started solve, so the marginal round cost is the number to watch.
+func BenchmarkDSE118Rounds(b *testing.B) {
+	fx := benchFixture(b)
+	for _, rounds := range []int{1, 2, 4} {
+		b.Run("rounds-"+itoa(rounds), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunDSE(context.Background(), fx.Dec, fx.Meas, core.DSEOptions{Rounds: rounds}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrackerFrames measures the steady-state tracked-frame cost:
+// the first frame (symbolic build — skeletons, models, solver plans) is
+// paid before the timer starts, so every timed iteration is a
+// value-refreshed, warm-started full DSE pass on the pinned session.
+func BenchmarkTrackerFrames(b *testing.B) {
+	fx := benchFixture(b)
+	tracker := core.NewTracker(fx.Dec, core.DSEOptions{Rounds: 2})
+	if _, err := tracker.Process(fx.Meas); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracker.Process(fx.Meas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWECCScaleDSE runs the full DSE flow on multi-area synthetic
 // interconnections — the paper's WECC ongoing-work scenario.
 func BenchmarkWECCScaleDSE(b *testing.B) {

@@ -32,6 +32,7 @@ func main() {
 		shaped     = flag.Bool("shaped", false, "shape inter-site links to the lab-network profile")
 		hier       = flag.Bool("hierarchical", false, "run the coordinator-based hierarchical mode instead of peer-to-peer DSE")
 		refine     = flag.Bool("refine", false, "with -hierarchical: coordinator re-estimates the boundary system")
+		frames     = flag.Int("frames", 1, "track this many measurement frames in-process (session reuse + warm starts)")
 	)
 	flag.Parse()
 
@@ -62,7 +63,28 @@ func main() {
 		net.Name, len(dec.Subsystems), len(dec.TieLines), dec.Diameter())
 
 	var state gridse.State
-	if *hier {
+	if *frames > 1 {
+		// Tracking operation: successive acquisition cycles over one
+		// decomposition. The first frame pays the symbolic build (skeletons,
+		// solver plans); every later frame is a value-only refresh with
+		// warm-started solves, so its cost is the steady-state frame cost.
+		tracker := gridse.NewTracker(dec, gridse.DSEOptions{Rounds: *rounds})
+		for f := 0; f < *frames; f++ {
+			fms, err := gridse.SimulateMeasurements(net, plan, truth.State, *noise, *seed+int64(f))
+			if err != nil {
+				log.Fatalf("simulate frame %d: %v", f, err)
+			}
+			frameStart := time.Now()
+			res, err := tracker.Step(ctx, fms)
+			if err != nil {
+				log.Fatalf("frame %d: %v", f, err)
+			}
+			fmt.Printf("frame %d: %v (step1 %d GN iters, step2 %d GN iters)\n",
+				f, time.Since(frameStart).Round(time.Microsecond),
+				res.Step1Stats.Iterations, res.Step2Stats.Iterations)
+			state = res.State
+		}
+	} else if *hier {
 		res, err := gridse.RunHierarchical(ctx, dec, ms, gridse.DistributedOptions{
 			Clusters:           *clusters,
 			HierarchicalRefine: *refine,

@@ -277,7 +277,18 @@ type (
 	PseudoPacket = core.PseudoPacket
 	// BusState is one bus's exchanged state.
 	BusState = core.BusState
+	// Session is a decomposition's reusable DSE pipeline: cached subproblem
+	// skeletons, solver engines, and cross-round/cross-frame warm-start
+	// state. Every Decomposition lazily owns one, used automatically by
+	// RunDSE, RunDistributed, and RunHierarchical; Session.Reset drops the
+	// cached state after an external structural change.
+	Session = core.Session
 )
+
+// NewSession builds a standalone DSE session for a decomposition (advanced
+// use — the orchestrators manage the decomposition-owned session, and a
+// Tracker pins its own, without any explicit session handling).
+var NewSession = core.NewSession
 
 // Decompose splits a network into m subsystems with sensitivity analysis.
 func Decompose(n *Network, m int, opts DecomposeOptions) (*Decomposition, error) {

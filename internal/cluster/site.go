@@ -51,6 +51,20 @@ type EstimationJob struct {
 	Model *meas.Model
 	// Opts configures the WLS solver; Workers is overridden by the site.
 	Opts wls.Options
+	// Engine optionally supplies a prebuilt reusable solver bound to Model
+	// (the session layer's cached engine), so the job reuses its symbolic
+	// plans instead of building throwaway ones. An engine must not be
+	// shared between jobs that may run concurrently.
+	Engine *wls.Engine
+}
+
+// solve runs the job's estimation through its engine when one is attached,
+// else through a one-shot solve.
+func (j EstimationJob) solve(ctx context.Context, opts wls.Options) (*wls.Result, error) {
+	if j.Engine != nil {
+		return j.Engine.EstimateCtx(ctx, opts)
+	}
+	return wls.EstimateCtx(ctx, j.Model, opts)
 }
 
 // JobResult pairs a job ID with its estimation outcome.
@@ -74,7 +88,7 @@ func (s *Site) RunJobs(ctx context.Context, jobs []EstimationJob) []JobResult {
 		}
 		opts := j.Opts
 		opts.Workers = s.Workers
-		res, err := wls.EstimateCtx(ctx, j.Model, opts)
+		res, err := j.solve(ctx, opts)
 		out[i] = JobResult{ID: j.ID, Result: res, Err: err}
 	}
 	return out
@@ -97,7 +111,7 @@ func (s *Site) RunJobsConcurrent(ctx context.Context, jobs []EstimationJob) []Jo
 			}
 			opts := j.Opts
 			opts.Workers = 1 // all parallelism spent across jobs
-			res, err := wls.EstimateCtx(ctx, j.Model, opts)
+			res, err := j.solve(ctx, opts)
 			out[i] = JobResult{ID: j.ID, Result: res, Err: err}
 		}(i, j)
 	}

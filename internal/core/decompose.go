@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/grid"
 	"repro/internal/partition"
@@ -58,6 +59,11 @@ type Decomposition struct {
 	TieLines   []TieLine
 	// Owner maps each internal bus index to its subsystem index.
 	Owner []int
+
+	// session is the lazily created decomposition-owned DSE session (see
+	// Session); sessionMu guards the slot, not the session's contents.
+	sessionMu sync.Mutex
+	session   *Session
 }
 
 // DecomposeOptions tunes the preliminary step.

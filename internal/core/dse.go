@@ -38,48 +38,46 @@ type DSEOptions struct {
 	RestoreObservability bool
 	// RestoreSigma is the pseudo-measurement sigma for restoration.
 	RestoreSigma float64
-	// Cache, when non-nil, persists per-subsystem solver engines across
-	// RunDSE calls, so successive frames over an unchanged topology reuse
-	// the symbolic Jacobian/gain plans (the Tracker supplies one
-	// automatically). A nil Cache still gets a per-run cache, which lets
-	// Step-2 rounds within the run share plans.
+	// NoStep2WarmStart disables the cross-round Step-2 warm start (round
+	// k+1 starting Gauss–Newton from round k's solution behind
+	// wls.WarmStartGate) — the flat-start-every-round baseline used by
+	// equivalence tests and ablation benchmarks.
+	NoStep2WarmStart bool
+	// Cache, when non-nil, pins a private Session for the run instead of
+	// the decomposition-owned one (the Tracker supplies a Cache so its
+	// session survives Tracker.Reset semantics independently of other
+	// users of the same Decomposition).
+	//
+	// Deprecated: callers no longer need to pass a cache for cross-frame
+	// plan reuse — every Decomposition lazily owns a Session that RunDSE,
+	// RunDistributed, and RunHierarchical use automatically.
 	Cache *DSECache
 }
 
-// DSECache holds the per-subsystem WLS solver engines of a DSE run. The
-// engines embody the symbolic sparsity work (Jacobian plan, gain scatter
-// plan, preconditioner pattern), which depends only on the decomposition
-// and metering layout — not on measurement values — so a cache can serve
-// every frame of a tracking session. Subsystem slots are only accessed by
-// that subsystem's goroutine, which keeps concurrent Step-1/Step-2 use safe.
+// DSECache pins one Session across orchestrator calls. It survives as a
+// thin alias from the pre-session API: the per-subsystem engine slots it
+// used to hold now live in the Session, together with the subproblem
+// skeletons and warm-start state the old cache could not keep.
+//
+// Deprecated: see DSEOptions.Cache.
 type DSECache struct {
-	step1, step2 []*wls.Engine
+	mu sync.Mutex
+	s  *Session
 }
 
-// ensure sizes the cache for m subsystems, dropping stale engines if the
-// decomposition size changed.
-func (c *DSECache) ensure(m int) {
-	if len(c.step1) != m {
-		c.step1 = make([]*wls.Engine, m)
+// sessionFor returns the cache's pinned session locked for one run,
+// (re)creating it when absent, bound to a different decomposition, or
+// configured differently.
+func (c *DSECache) sessionFor(d *Decomposition, opts DSEOptions) (*Session, func()) {
+	cfg := sessionConfigFor(opts)
+	c.mu.Lock()
+	s := c.s
+	if s == nil || s.d != d || s.cfg != cfg {
+		s = NewSession(d, opts)
+		c.s = s
 	}
-	if len(c.step2) != m {
-		c.step2 = make([]*wls.Engine, m)
-	}
-}
-
-// engineFor returns the cached engine for a subsystem slot rebound to mod,
-// or builds and caches a fresh one when the model's structure changed.
-func (c *DSECache) engineFor(step2 bool, si int, mod *meas.Model) *wls.Engine {
-	slot := c.step1
-	if step2 {
-		slot = c.step2
-	}
-	if e := slot[si]; e != nil && e.Rebind(mod) == nil {
-		return e
-	}
-	e := wls.NewEngine(mod)
-	slot[si] = e
-	return e
+	c.mu.Unlock()
+	return lockOrClone(s, d, opts)
 }
 
 // StepStats reports one DSE phase.
@@ -128,30 +126,23 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 		Step1: make([]*wls.Result, m),
 		Step2: make([]*wls.Result, m),
 	}
-	cache := opts.Cache
-	if cache == nil {
-		cache = &DSECache{}
-	}
-	cache.ensure(m)
+	sess, release := acquireSession(d, opts)
+	defer release()
+	sess.beginRun(opts.WarmStart != nil)
 
 	// DSE Step 1: local estimation per subsystem.
 	probs1 := make([]*Subproblem, m)
 	start := time.Now()
 	err := forEachSubsystem(ctx, "step 1", m, opts.Sequential, func(ctx context.Context, si int) error {
-		sp, err := d.BuildStep1(si, global)
+		sp, eng, err := sess.step1(si, global)
 		if err != nil {
 			return err
-		}
-		if opts.RestoreObservability {
-			if err := restoreSubproblem(sp, opts.RestoreSigma); err != nil {
-				return fmt.Errorf("core: step 1 subsystem %d restoration: %w", si, err)
-			}
 		}
 		wlsOpts := opts.WLS
 		if opts.WarmStart != nil && si < len(opts.WarmStart) && opts.WarmStart[si] != nil {
 			wlsOpts.X0 = opts.WarmStart[si]
 		}
-		r, err := cache.engineFor(false, si, sp.Model).EstimateCtx(ctx, wlsOpts)
+		r, err := eng.EstimateCtx(ctx, wlsOpts)
 		if err != nil {
 			return fmt.Errorf("core: step 1 subsystem %d: %w", si, err)
 		}
@@ -181,18 +172,18 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 		for si := 0; si < m; si++ {
 			packets[si] = d.ExtractPseudo(si, currentProb[si], current[si])
 		}
-		// Account the exchange: each subsystem sends its packet to every
-		// neighbor.
+		// Account the exchange: each subsystem encodes its packet once —
+		// the bytes every neighbor would receive — and sends it to each.
 		for si := 0; si < m; si++ {
 			nbrs := d.Neighbors(si)
 			if len(nbrs) == 0 {
 				continue
 			}
-			sz, err := packetSize(packets[si])
+			payload, err := EncodePacket(packets[si])
 			if err != nil {
 				return nil, err
 			}
-			res.ExchangeBytes += sz * len(nbrs)
+			res.ExchangeBytes += len(payload) * len(nbrs)
 			res.ExchangeMessages += len(nbrs)
 		}
 		err := forEachSubsystem(ctx, "step 2", m, opts.Sequential, func(ctx context.Context, si int) error {
@@ -200,15 +191,22 @@ func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, op
 			for _, nb := range d.Neighbors(si) {
 				incoming = append(incoming, packets[nb])
 			}
-			sp, err := d.BuildStep2(si, global, incoming, opts.PseudoSigma)
+			sp, eng, err := sess.step2(si, global, incoming)
 			if err != nil {
 				return err
 			}
 			wlsOpts := opts.WLS
-			r, err := cache.engineFor(true, si, sp.Model).EstimateCtx(ctx, wlsOpts)
+			if x0 := sess.step2Start(si); x0 != nil && !opts.NoStep2WarmStart && wlsOpts.X0 == nil {
+				wlsOpts.X0 = x0
+				if wlsOpts.X0Gate == 0 {
+					wlsOpts.X0Gate = wls.WarmStartGate
+				}
+			}
+			r, err := eng.EstimateCtx(ctx, wlsOpts)
 			if err != nil {
 				return fmt.Errorf("core: step 2 subsystem %d: %w", si, err)
 			}
+			sess.noteStep2(si, r.X)
 			probs2[si] = sp
 			res.Step2[si] = r
 			return nil
@@ -339,16 +337,6 @@ func (st *StepStats) addIterations(results []*wls.Result) {
 			st.CGIterations += r.CGIterations
 		}
 	}
-}
-
-// packetSize returns the serialized (gob) size of a pseudo packet — the
-// byte volume the middleware would carry.
-func packetSize(p PseudoPacket) (int, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
-		return 0, fmt.Errorf("core: encoding pseudo packet: %w", err)
-	}
-	return buf.Len(), nil
 }
 
 // EncodePacket serializes a pseudo packet for middleware transmission.

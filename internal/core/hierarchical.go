@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -68,15 +67,19 @@ func RunHierarchical(ctx context.Context, d *Decomposition, global []meas.Measur
 		return nil, err
 	}
 
+	sess, release := acquireSession(d, opts.DSE)
+	defer release()
+	sess.beginRun(opts.DSE.WarmStart != nil)
+
 	res := &HierarchicalResult{Local: make([]*wls.Result, m)}
 	probs := make([]*Subproblem, m)
 	err = runOnSites(ctx, "local estimation", tb, mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
-		sp, err := d.BuildStep1(si, global)
+		sp, eng, err := sess.step1(si, global)
 		if err != nil {
 			return err
 		}
 		probs[si] = sp
-		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS, Engine: eng}})
 		if out[0].Err != nil {
 			return fmt.Errorf("core: hierarchical subsystem %d: %w", si, out[0].Err)
 		}
@@ -122,95 +125,12 @@ func RunHierarchical(ctx context.Context, d *Decomposition, global []meas.Measur
 		}
 	}
 	if opts.HierarchicalRefine {
-		if err := refineBoundary(ctx, d, global, &res.State, opts.DSE); err != nil {
+		if err := sess.refineBoundary(ctx, global, &res.State, opts.DSE.WLS); err != nil {
 			return nil, fmt.Errorf("core: coordinator boundary refinement: %w", err)
 		}
 	}
 	res.Duration = time.Since(start)
 	return res, nil
-}
-
-// refineBoundary is the coordinator's second stage: a WLS estimation on the
-// reduced boundary system (all boundary buses + tie lines), anchored by the
-// subsystem solutions as pseudo-measurements and constrained by the
-// tie-line flow telemetry that no single balancing authority could use on
-// its own. Refined boundary states are written back into state.
-func refineBoundary(ctx context.Context, d *Decomposition, global []meas.Measurement, state *powerflow.State, dseOpts DSEOptions) error {
-	if len(d.TieLines) == 0 {
-		return nil
-	}
-	pseudoSigma := dseOpts.PseudoSigma
-	if pseudoSigma <= 0 {
-		pseudoSigma = PseudoSigmaDefault
-	}
-	// Boundary buses (global internal indices), sorted for determinism.
-	bset := make(map[int]bool)
-	for _, s := range d.Subsystems {
-		for _, b := range s.Boundary {
-			bset[b] = true
-		}
-	}
-	var bList []int
-	for b := range bset {
-		bList = append(bList, b)
-	}
-	sort.Ints(bList)
-
-	var buses []grid.Bus
-	for i, gi := range bList {
-		b := d.Net.Buses[gi]
-		if i == 0 {
-			b.Type = grid.Slack
-		} else {
-			b.Type = grid.PQ
-		}
-		buses = append(buses, b)
-	}
-	var branches []grid.Branch
-	branchMap := make(map[int]int)
-	for _, tl := range d.TieLines {
-		branchMap[tl.Branch] = len(branches)
-		branches = append(branches, d.Net.Branches[tl.Branch])
-	}
-	boundaryNet, err := grid.New(d.Net.Name+"-boundary", d.Net.BaseMVA, buses, branches, nil)
-	if err != nil {
-		return err
-	}
-
-	var ms []meas.Measurement
-	for _, gi := range bList {
-		id := d.Net.Buses[gi].ID
-		ms = append(ms,
-			meas.Measurement{Kind: meas.Vmag, Bus: id, Sigma: pseudoSigma, Value: state.Vm[gi]},
-			meas.Measurement{Kind: meas.Angle, Bus: id, Sigma: pseudoSigma, Value: state.Va[gi]})
-	}
-	for _, m := range global {
-		if m.Kind != meas.Pflow && m.Kind != meas.Qflow {
-			continue
-		}
-		if li, ok := branchMap[m.Branch]; ok {
-			lm := m
-			lm.Branch = li
-			ms = append(ms, lm)
-		}
-	}
-	refIdx := 0
-	refAngle := state.Va[bList[0]]
-	mod, err := meas.NewModel(boundaryNet, ms, refIdx, refAngle)
-	if err != nil {
-		return err
-	}
-	res, err := wls.EstimateCtx(ctx, mod, dseOpts.WLS)
-	if err != nil {
-		return err
-	}
-	for _, gi := range bList {
-		id := d.Net.Buses[gi].ID
-		li := boundaryNet.MustIndex(id)
-		state.Vm[gi] = res.State.Vm[li]
-		state.Va[gi] = res.State.Va[li]
-	}
-	return nil
 }
 
 // CentralizedEstimate runs the conventional single-control-center WLS

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -154,13 +155,17 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	// --- Raw-data acquisition: each site fetches its subsystems' SCADA
 	// measurements from the data source through the middleware (the
 	// Figure 1 path: data source -> middleware -> data processor). ---
+	sess, release := acquireSession(d, opts.DSE)
+	defer release()
+	sess.beginRun(opts.DSE.WarmStart != nil)
 	probs1 := make([]*Subproblem, m)
+	engs1 := make([]*wls.Engine, m)
 	for si := 0; si < m; si++ {
-		sp, err := d.BuildStep1(si, global)
+		sp, eng, err := sess.step1(si, global)
 		if err != nil {
 			return nil, err
 		}
-		probs1[si] = sp
+		probs1[si], engs1[si] = sp, eng
 	}
 	start = time.Now()
 	source, err := medici.NewDataServer(opts.Transport, "127.0.0.1:0", func(req []byte) ([]byte, error) {
@@ -198,7 +203,7 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	step1Ctx, step1Cancel := opts.phaseContext(ctx)
 	err = runOnSites(step1Ctx, "step 1", tb, res.Step1Mapping.Assign, func(ctx context.Context, si int, site *cluster.Site) error {
 		sp := probs1[si]
-		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS, Engine: engs1[si]}})
 		if out[0].Err != nil {
 			return fmt.Errorf("core: step 1 subsystem %d on %s: %w", si, site.Name, out[0].Err)
 		}
@@ -270,14 +275,19 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	err = func() error {
 		var wire int
 		for si := 0; si < m; si++ {
+			// One packet, one encoding: the same bytes serve every remote
+			// neighbor (and the size accounting).
+			var payload []byte
 			for _, nb := range d.Neighbors(si) {
 				if assign[si] == assign[nb] {
 					incoming[nb] = append(incoming[nb], packets[si])
 					continue
 				}
-				payload, err := EncodePacket(packets[si])
-				if err != nil {
-					return err
+				if payload == nil {
+					var err error
+					if payload, err = EncodePacket(packets[si]); err != nil {
+						return err
+					}
 				}
 				env := Envelope{Kind: "pseudo", FromSub: si, ToSub: nb, Payload: payload}
 				if err := sendEnvelope(exchCtx, tb.Sites[assign[si]], tb.Sites[assign[nb]].Name, env); err != nil {
@@ -305,6 +315,14 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	if err != nil {
 		return nil, err
 	}
+	// Wire arrival order is nondeterministic; a stable ascending-FromSub
+	// order (matching RunDSE's sorted Neighbors order) makes the Step-2
+	// problem layout reproducible and lets the session refresh its cached
+	// skeletons instead of rebuilding them.
+	for si := range incoming {
+		in := incoming[si]
+		sort.Slice(in, func(a, b int) bool { return in[a].FromSub < in[b].FromSub })
+	}
 	res.Timings.Exchange = time.Since(start)
 
 	// --- DSE Step 2 on the (re-mapped) sites. ---
@@ -312,15 +330,16 @@ func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measure
 	start = time.Now()
 	step2Ctx, step2Cancel := opts.phaseContext(ctx)
 	err = runOnSites(step2Ctx, "step 2", tb, assign, func(ctx context.Context, si int, site *cluster.Site) error {
-		sp, err := d.BuildStep2(si, global, incoming[si], opts.DSE.PseudoSigma)
+		sp, eng, err := sess.step2(si, global, incoming[si])
 		if err != nil {
 			return err
 		}
 		probs2[si] = sp
-		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS}})
+		out := site.RunJobs(ctx, []cluster.EstimationJob{{ID: si, Model: sp.Model, Opts: opts.DSE.WLS, Engine: eng}})
 		if out[0].Err != nil {
 			return fmt.Errorf("core: step 2 subsystem %d on %s: %w", si, site.Name, out[0].Err)
 		}
+		sess.noteStep2(si, out[0].Result.X)
 		res.Step2[si] = out[0].Result
 		return nil
 	})

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+	"repro/internal/wls"
+)
+
+// Session is the per-decomposition DSE pipeline state: for every subsystem
+// it keeps the Step-1 and Step-2 subproblem skeletons (sub-network,
+// measurement mapping, model structure — all topology-invariant), the
+// reusable WLS engines built on them (symbolic Jacobian/gain plans,
+// preconditioner pattern, CG workspace), and the cross-round Gauss–Newton
+// warm-start state. The session prices symbolic work per topology: the
+// first frame (and first Step-2 round) builds everything, and every
+// subsequent frame and round is a value-only refresh through
+// Subproblem.UpdateMeasurements / UpdatePseudo.
+//
+// Every Decomposition lazily owns one session, which RunDSE,
+// RunDistributed, and RunHierarchical acquire automatically; a DSECache
+// pins a private one (the Tracker does this). A session serves one run at
+// a time — acquisition is a TryLock, and a concurrent run on the same
+// decomposition falls back to a throwaway private session rather than
+// blocking or racing.
+//
+// Concurrency invariant: within a run, subsystem slot si is touched only
+// by the goroutine estimating subsystem si (RunDSE's per-subsystem
+// goroutines and the testbed's per-site goroutines both preserve this),
+// so slots need no locking of their own.
+type Session struct {
+	d   *Decomposition
+	cfg sessionConfig
+
+	// mu serializes runs: held for the duration of one orchestrator call.
+	mu sync.Mutex
+
+	subs     []subSession
+	boundary *boundarySession
+}
+
+// subSession is one subsystem's slot: skeletons, engines, and the Step-2
+// warm-start carry. Accessed only by the goroutine running that subsystem.
+type subSession struct {
+	step1, step2 *Subproblem
+	eng1, eng2   *wls.Engine
+	// warm2 is the subsystem's previous Step-2 solution; the next round
+	// (or, in tracking operation, the next frame) starts Gauss–Newton from
+	// it behind the wls.WarmStartGate scaled-residual gate.
+	warm2     []float64
+	haveWarm2 bool
+}
+
+// sessionConfig captures the DSEOptions fields baked into the cached
+// skeletons; a change means the skeletons no longer describe the problem
+// and the session must be rebuilt.
+type sessionConfig struct {
+	pseudoSigma  float64
+	restore      bool
+	restoreSigma float64
+}
+
+func sessionConfigFor(opts DSEOptions) sessionConfig {
+	cfg := sessionConfig{
+		pseudoSigma:  opts.PseudoSigma,
+		restore:      opts.RestoreObservability,
+		restoreSigma: opts.RestoreSigma,
+	}
+	if cfg.pseudoSigma <= 0 {
+		cfg.pseudoSigma = PseudoSigmaDefault
+	}
+	if !cfg.restore {
+		cfg.restoreSigma = 0
+	}
+	return cfg
+}
+
+// NewSession builds an empty session for the decomposition. Skeletons and
+// engines materialize lazily as runs touch each subsystem.
+func NewSession(d *Decomposition, opts DSEOptions) *Session {
+	return &Session{d: d, cfg: sessionConfigFor(opts), subs: make([]subSession, len(d.Subsystems))}
+}
+
+// Reset drops every cached skeleton, engine, and warm-start vector. Call
+// it (or Tracker.Reset, which does) after anything that changes problem
+// structure out from under the session.
+func (s *Session) Reset() {
+	for i := range s.subs {
+		s.subs[i] = subSession{}
+	}
+	s.boundary = nil
+}
+
+// beginRun prepares the session for one orchestrator call. Warm-start
+// carries are kept only for a continuing tracking run (the caller supplied
+// the previous frame's solutions); a standalone run always starts cold so
+// that repeated runs over the same data stay bit-identical.
+func (s *Session) beginRun(continuing bool) {
+	if continuing {
+		return
+	}
+	for i := range s.subs {
+		s.subs[i].warm2, s.subs[i].haveWarm2 = nil, false
+	}
+	if s.boundary != nil {
+		s.boundary.warm, s.boundary.haveWarm = nil, false
+	}
+}
+
+// step1 returns subsystem si's Step-1 subproblem and engine, refreshed
+// with the frame's values. The skeleton and engine are built on first use
+// (including observability restoration when the session is configured for
+// it) and value-refreshed afterwards; a stale skeleton is rebuilt.
+func (s *Session) step1(si int, global []meas.Measurement) (*Subproblem, *wls.Engine, error) {
+	sl := &s.subs[si]
+	if sl.step1 != nil && sl.step1.UpdateMeasurements(global) == nil {
+		return sl.step1, sl.eng1, nil
+	}
+	sp, err := s.d.BuildStep1(si, global)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.cfg.restore {
+		if err := restoreSubproblem(sp, s.cfg.restoreSigma); err != nil {
+			return nil, nil, fmt.Errorf("core: step 1 subsystem %d restoration: %w", si, err)
+		}
+	}
+	sl.step1, sl.eng1 = sp, wls.NewEngine(sp.Model)
+	return sp, sl.eng1, nil
+}
+
+// step2 returns subsystem si's Step-2 subproblem and engine, refreshed
+// with the frame's values and the round's incoming packets. The incoming
+// slice must be in a stable order across rounds and frames (the
+// orchestrators use ascending FromSub, which is d.Neighbors order).
+func (s *Session) step2(si int, global []meas.Measurement, incoming []PseudoPacket) (*Subproblem, *wls.Engine, error) {
+	sl := &s.subs[si]
+	if sl.step2 != nil &&
+		sl.step2.UpdateMeasurements(global) == nil &&
+		sl.step2.UpdatePseudo(incoming) == nil {
+		return sl.step2, sl.eng2, nil
+	}
+	sp, err := s.d.BuildStep2(si, global, incoming, s.cfg.pseudoSigma)
+	if err != nil {
+		return nil, nil, err
+	}
+	sl.step2, sl.eng2 = sp, wls.NewEngine(sp.Model)
+	sl.warm2, sl.haveWarm2 = nil, false // state layout may have shifted
+	return sp, sl.eng2, nil
+}
+
+// step2Start returns the warm-start vector for subsystem si's next Step-2
+// solve, or nil for a flat start. Valid only after step2 for this frame.
+func (s *Session) step2Start(si int) []float64 {
+	sl := &s.subs[si]
+	if !sl.haveWarm2 || sl.step2 == nil || len(sl.warm2) != sl.step2.Model.NState() {
+		return nil
+	}
+	return sl.warm2
+}
+
+// noteStep2 records subsystem si's Step-2 solution as the next round's
+// (or frame's) warm-start candidate.
+func (s *Session) noteStep2(si int, x []float64) {
+	s.subs[si].warm2, s.subs[si].haveWarm2 = x, true
+}
+
+// acquireSession resolves the session an orchestrator call runs on: the
+// one pinned by opts.Cache when set, else the decomposition-owned one.
+// Either way the session is locked for the duration of the run; when it is
+// already busy (a concurrent run on the same decomposition), the caller
+// gets a throwaway private session instead — correctness over reuse. The
+// returned release must be called when the run ends.
+func acquireSession(d *Decomposition, opts DSEOptions) (*Session, func()) {
+	if c := opts.Cache; c != nil {
+		return c.sessionFor(d, opts)
+	}
+	return d.sessionFor(opts)
+}
+
+// sessionFor returns the decomposition-owned session, creating or
+// replacing it when absent or configured differently, locked for one run.
+func (d *Decomposition) sessionFor(opts DSEOptions) (*Session, func()) {
+	cfg := sessionConfigFor(opts)
+	d.sessionMu.Lock()
+	s := d.session
+	if s == nil || s.cfg != cfg {
+		s = NewSession(d, opts)
+		d.session = s
+	}
+	d.sessionMu.Unlock()
+	return lockOrClone(s, d, opts)
+}
+
+// lockOrClone locks s for one run, or hands out a fresh private session
+// when s is serving a concurrent run.
+func lockOrClone(s *Session, d *Decomposition, opts DSEOptions) (*Session, func()) {
+	if s.mu.TryLock() {
+		return s, s.mu.Unlock
+	}
+	eph := NewSession(d, opts)
+	eph.mu.Lock()
+	return eph, eph.mu.Unlock
+}
+
+// boundarySession is the coordinator-side analogue of a subsystem slot:
+// the reduced boundary system (all boundary buses + tie lines), its model,
+// engine, and refresh provenance, plus the cross-frame warm start for the
+// coordinator solve.
+type boundarySession struct {
+	net     *grid.Network
+	bList   []int // boundary buses (global internal indices), sorted
+	mod     *meas.Model
+	eng     *wls.Engine
+	src     []int32 // model meas index -> global frame index (flows), -1 for pseudo
+	nGlobal int
+
+	warm     []float64
+	haveWarm bool
+}
+
+// refineBoundary is the coordinator's second stage: a WLS estimation on
+// the reduced boundary system, anchored by the subsystem solutions as
+// pseudo-measurements and constrained by the tie-line flow telemetry that
+// no single balancing authority could use on its own. Refined boundary
+// states are written back into state. The boundary model and engine are
+// session-cached: successive frames refresh values only, and the
+// coordinator solve warm-starts from the previous frame's solution behind
+// the wls.WarmStartGate.
+func (s *Session) refineBoundary(ctx context.Context, global []meas.Measurement, state *powerflow.State, wlsOpts wls.Options) error {
+	d := s.d
+	if len(d.TieLines) == 0 {
+		return nil
+	}
+	b := s.boundary
+	if b == nil || !b.refresh(d, global, state) {
+		var err error
+		if b, err = s.buildBoundary(global, state); err != nil {
+			return err
+		}
+		s.boundary = b
+	}
+	if b.haveWarm && len(b.warm) == b.mod.NState() && wlsOpts.X0 == nil {
+		wlsOpts.X0 = b.warm
+		if wlsOpts.X0Gate == 0 {
+			wlsOpts.X0Gate = wls.WarmStartGate
+		}
+	}
+	res, err := b.eng.EstimateCtx(ctx, wlsOpts)
+	if err != nil {
+		return err
+	}
+	b.warm, b.haveWarm = res.X, true
+	for _, gi := range b.bList {
+		id := d.Net.Buses[gi].ID
+		li := b.net.MustIndex(id)
+		state.Vm[gi] = res.State.Vm[li]
+		state.Va[gi] = res.State.Va[li]
+	}
+	return nil
+}
+
+// buildBoundary assembles the boundary system skeleton: boundary buses,
+// tie-line branches, one (Vmag, Angle) pseudo pair per boundary bus from
+// the aggregated state, and the tie-line flow telemetry from the frame.
+func (s *Session) buildBoundary(global []meas.Measurement, state *powerflow.State) (*boundarySession, error) {
+	d := s.d
+	bset := make(map[int]bool)
+	for _, sub := range d.Subsystems {
+		for _, bb := range sub.Boundary {
+			bset[bb] = true
+		}
+	}
+	bList := make([]int, 0, len(bset))
+	for bb := range bset {
+		bList = append(bList, bb)
+	}
+	sort.Ints(bList)
+
+	var buses []grid.Bus
+	for i, gi := range bList {
+		bus := d.Net.Buses[gi]
+		if i == 0 {
+			bus.Type = grid.Slack
+		} else {
+			bus.Type = grid.PQ
+		}
+		buses = append(buses, bus)
+	}
+	var branches []grid.Branch
+	branchMap := make(map[int]int)
+	for _, tl := range d.TieLines {
+		branchMap[tl.Branch] = len(branches)
+		branches = append(branches, d.Net.Branches[tl.Branch])
+	}
+	boundaryNet, err := grid.New(d.Net.Name+"-boundary", d.Net.BaseMVA, buses, branches, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var ms []meas.Measurement
+	var src []int32
+	for _, gi := range bList {
+		id := d.Net.Buses[gi].ID
+		ms = append(ms,
+			meas.Measurement{Kind: meas.Vmag, Bus: id, Sigma: s.cfg.pseudoSigma, Value: state.Vm[gi]},
+			meas.Measurement{Kind: meas.Angle, Bus: id, Sigma: s.cfg.pseudoSigma, Value: state.Va[gi]})
+		src = append(src, -1, -1)
+	}
+	for gi, m := range global {
+		if m.Kind != meas.Pflow && m.Kind != meas.Qflow {
+			continue
+		}
+		if li, ok := branchMap[m.Branch]; ok {
+			lm := m
+			lm.Branch = li
+			ms = append(ms, lm)
+			src = append(src, int32(gi))
+		}
+	}
+	mod, err := meas.NewModel(boundaryNet, ms, 0, state.Va[bList[0]])
+	if err != nil {
+		return nil, err
+	}
+	return &boundarySession{
+		net: boundaryNet, bList: bList, mod: mod, eng: wls.NewEngine(mod),
+		src: src, nGlobal: len(global),
+	}, nil
+}
+
+// refresh folds a new frame and aggregated state into the boundary
+// skeleton, reporting false when the frame layout drifted (rebuild).
+func (b *boundarySession) refresh(d *Decomposition, global []meas.Measurement, state *powerflow.State) bool {
+	if len(global) != b.nGlobal {
+		return false
+	}
+	for i, gsrc := range b.src {
+		if gsrc < 0 {
+			continue
+		}
+		g, o := global[gsrc], &b.mod.Meas[i]
+		if g.Kind != o.Kind || g.FromSide != o.FromSide || g.Sigma != o.Sigma {
+			return false
+		}
+		o.Value = g.Value
+	}
+	for i, gi := range b.bList {
+		b.mod.Meas[2*i].Value = state.Vm[gi]
+		b.mod.Meas[2*i+1].Value = state.Va[gi]
+	}
+	b.mod.SetRefAngle(state.Va[b.bList[0]])
+	return true
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,11 @@ import (
 	"repro/internal/meas"
 	"repro/internal/powerflow"
 )
+
+// ErrStaleSkeleton reports that a cached subproblem skeleton no longer
+// matches the frame it is being refreshed from: the measurement plan or the
+// pseudo-packet layout changed shape, so the skeleton must be rebuilt.
+var ErrStaleSkeleton = errors.New("core: cached subproblem stale against frame layout")
 
 // PseudoSigmaDefault is the standard deviation assigned to exchanged
 // pseudo-measurements (solved neighbor states). Solved states are more
@@ -40,6 +46,35 @@ type Subproblem struct {
 	OwnBuses []int
 	refAngle float64
 	refBusID int // external ID of the angle-reference bus
+
+	// Build provenance: where each model measurement's value comes from, so
+	// a cached skeleton can be refreshed with fresh values (see
+	// UpdateMeasurements / UpdatePseudo) instead of being rebuilt per frame.
+	src       []int32        // model meas index -> global frame index, -1 for pseudo/restored
+	srcBranch []int32        // expected global branch index for flow entries, -1 otherwise
+	pseudo    []pseudoSlot   // step-2 pseudo-measurement entries
+	restored  []restoredSlot // observability-restoration entries
+	refSrc    int32          // global frame index of the reference PMU angle
+	nGlobal   int            // frame length the skeleton was built from
+	nPackets  int            // expected incoming packet count (step 2)
+}
+
+// pseudoSlot ties one pseudo-measurement model entry to its coordinates in
+// the incoming packet slice (packet position, state position, angle/Vm).
+type pseudoSlot struct {
+	mi      int32 // model measurement index
+	pkt     int32 // position in the incoming packet slice
+	state   int32 // index into packet.States
+	busID   int32
+	fromSub int32
+	angle   bool // Angle entry (else Vmag)
+}
+
+// restoredSlot marks a flat-profile restoration pseudo-measurement; angle
+// entries track the per-frame reference angle, Vmag entries stay at 1 pu.
+type restoredSlot struct {
+	mi    int32
+	angle bool
 }
 
 // RefAngle returns the angle pinning the subproblem's reference bus — the
@@ -63,31 +98,45 @@ func (d *Decomposition) BuildStep1(si int, global []meas.Measurement) (*Subprobl
 	own := intSet(s.Buses)
 
 	refID := d.Net.Buses[s.RefBus].ID
-	refAngle, haveRef := findRefAngle(global, refID)
-	if !haveRef {
+	refIdx := refAngleSource(global, refID)
+	if refIdx < 0 {
 		return nil, fmt.Errorf("core: subsystem %d has no PMU angle measurement at reference bus %d", si, refID)
 	}
+	refAngle := global[refIdx].Value
 
 	var local []meas.Measurement
-	for _, m := range global {
+	var src, srcBranch []int32
+	add := func(gi int, m meas.Measurement, gbr int) {
+		local = append(local, m)
+		src = append(src, int32(gi))
+		srcBranch = append(srcBranch, int32(gbr))
+	}
+	for gi, m := range global {
 		switch m.Kind {
 		case meas.Vmag, meas.Angle:
-			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] {
-				local = append(local, m)
+			if b, ok := d.Net.Index(m.Bus); ok && own[b] {
+				add(gi, m, -1)
 			}
 		case meas.Pinj, meas.Qinj:
-			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] && !isBoundary[gi] {
-				local = append(local, m)
+			if b, ok := d.Net.Index(m.Bus); ok && own[b] && !isBoundary[b] {
+				add(gi, m, -1)
 			}
 		case meas.Pflow, meas.Qflow:
 			if li, ok := branchMap[m.Branch]; ok {
 				lm := m
 				lm.Branch = li
-				local = append(local, lm)
+				add(gi, lm, m.Branch)
 			}
 		}
 	}
-	return d.finishSubproblem(s, localNet, local, refAngle)
+	sp, err := d.finishSubproblem(s, localNet, local, refAngle)
+	if err != nil {
+		return nil, err
+	}
+	sp.src, sp.srcBranch = src, srcBranch
+	sp.refSrc = int32(refIdx)
+	sp.nGlobal = len(global)
+	return sp, nil
 }
 
 // BuildStep2 constructs subsystem si's DSE Step 2 problem: the extended
@@ -132,23 +181,30 @@ func (d *Decomposition) BuildStep2(si int, global []meas.Measurement, pseudo []P
 	}
 
 	refID := d.Net.Buses[s.RefBus].ID
-	refAngle, haveRef := findRefAngle(global, refID)
-	if !haveRef {
+	refIdx := refAngleSource(global, refID)
+	if refIdx < 0 {
 		return nil, fmt.Errorf("core: subsystem %d has no PMU angle measurement at reference bus %d", si, refID)
 	}
+	refAngle := global[refIdx].Value
 
 	var local []meas.Measurement
-	for _, m := range global {
+	var src, srcBranch []int32
+	add := func(gi int, m meas.Measurement, gbr int) {
+		local = append(local, m)
+		src = append(src, int32(gi))
+		srcBranch = append(srcBranch, int32(gbr))
+	}
+	for gi, m := range global {
 		switch m.Kind {
 		case meas.Vmag, meas.Angle:
-			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] {
-				local = append(local, m)
+			if b, ok := d.Net.Index(m.Bus); ok && own[b] {
+				add(gi, m, -1)
 			}
 		case meas.Pinj, meas.Qinj:
 			// All own injections are now computable: boundary buses see
 			// their tie-line neighbors in the extended network.
-			if gi, ok := d.Net.Index(m.Bus); ok && own[gi] {
-				local = append(local, m)
+			if b, ok := d.Net.Index(m.Bus); ok && own[b] {
+				add(gi, m, -1)
 			}
 		case meas.Pflow, meas.Qflow:
 			li, ok := branchMap[m.Branch]
@@ -162,27 +218,44 @@ func (d *Decomposition) BuildStep2(si int, global []meas.Measurement, pseudo []P
 			if m.FromSide {
 				meterBus = br.From
 			}
-			if gi, ok := d.Net.Index(meterBus); ok && own[gi] {
+			if b, ok := d.Net.Index(meterBus); ok && own[b] {
 				lm := m
 				lm.Branch = li
-				local = append(local, lm)
+				add(gi, lm, m.Branch)
 			}
 		}
 	}
 
 	// Pseudo-measurements: neighbors' solved states for the extended buses.
-	for _, pkt := range pseudo {
-		for _, bs := range pkt.States {
+	var slots []pseudoSlot
+	for pi, pkt := range pseudo {
+		for sj, bs := range pkt.States {
 			gi, ok := d.Net.Index(bs.BusID)
 			if !ok || !extSet[gi] {
 				continue // state of a bus outside this extended network
 			}
+			slots = append(slots,
+				pseudoSlot{mi: int32(len(local)), pkt: int32(pi), state: int32(sj),
+					busID: int32(bs.BusID), fromSub: int32(pkt.FromSub)},
+				pseudoSlot{mi: int32(len(local) + 1), pkt: int32(pi), state: int32(sj),
+					busID: int32(bs.BusID), fromSub: int32(pkt.FromSub), angle: true})
 			local = append(local,
 				meas.Measurement{Kind: meas.Vmag, Bus: bs.BusID, Sigma: pseudoSigma, Value: bs.Vm},
 				meas.Measurement{Kind: meas.Angle, Bus: bs.BusID, Sigma: pseudoSigma, Value: bs.Va})
+			src = append(src, -1, -1)
+			srcBranch = append(srcBranch, -1, -1)
 		}
 	}
-	return d.finishSubproblem(s, localNet, local, refAngle)
+	sp, err := d.finishSubproblem(s, localNet, local, refAngle)
+	if err != nil {
+		return nil, err
+	}
+	sp.src, sp.srcBranch = src, srcBranch
+	sp.pseudo = slots
+	sp.refSrc = int32(refIdx)
+	sp.nGlobal = len(global)
+	sp.nPackets = len(pseudo)
+	return sp, nil
 }
 
 // subNetwork assembles a sub-network of own buses plus optional extra buses
@@ -253,23 +326,134 @@ func (d *Decomposition) finishSubproblem(s *Subsystem, localNet *grid.Network, m
 	}
 	return &Subproblem{
 		Sub: s, Net: localNet, Model: mod, OwnBuses: ownIDs,
-		refAngle: refAngle, refBusID: refID,
+		refAngle: refAngle, refBusID: refID, refSrc: -1,
 	}, nil
+}
+
+// UpdateMeasurements refreshes the skeleton's telemetered values from a new
+// global frame without rebuilding anything symbolic: each model measurement
+// is re-read from the frame position recorded at build time, the reference
+// angle is rebound to the fresh PMU value, and restoration pseudo-angles
+// follow it. The frame must have the same layout (count, kinds, locations,
+// sigmas) as the one the skeleton was built from; any drift returns an
+// error wrapping ErrStaleSkeleton, the caller's signal to rebuild.
+func (sp *Subproblem) UpdateMeasurements(global []meas.Measurement) error {
+	if sp.src == nil {
+		return fmt.Errorf("%w: skeleton has no refresh provenance", ErrStaleSkeleton)
+	}
+	if len(global) != sp.nGlobal {
+		return fmt.Errorf("%w: frame has %d measurements, skeleton built from %d", ErrStaleSkeleton, len(global), sp.nGlobal)
+	}
+	if sp.refSrc >= 0 {
+		g := global[sp.refSrc]
+		if g.Kind != meas.Angle || g.Bus != sp.refBusID {
+			return fmt.Errorf("%w: reference PMU moved from frame position %d", ErrStaleSkeleton, sp.refSrc)
+		}
+		sp.refAngle = g.Value
+	}
+	mod := sp.Model
+	for i, s := range sp.src {
+		if s < 0 {
+			continue // pseudo or restored entry; refreshed elsewhere
+		}
+		g, o := global[s], &mod.Meas[i]
+		if g.Kind != o.Kind || g.Sigma != o.Sigma || g.FromSide != o.FromSide {
+			return fmt.Errorf("%w: frame position %d changed identity", ErrStaleSkeleton, s)
+		}
+		switch g.Kind {
+		case meas.Pflow, meas.Qflow:
+			if int32(g.Branch) != sp.srcBranch[i] {
+				return fmt.Errorf("%w: frame position %d changed branch", ErrStaleSkeleton, s)
+			}
+		default:
+			if g.Bus != o.Bus {
+				return fmt.Errorf("%w: frame position %d changed bus", ErrStaleSkeleton, s)
+			}
+		}
+		o.Value = g.Value
+	}
+	for _, r := range sp.restored {
+		if r.angle {
+			mod.Meas[r.mi].Value = sp.refAngle
+		}
+	}
+	mod.SetRefAngle(sp.refAngle)
+	return nil
+}
+
+// UpdatePseudo refreshes the Step-2 pseudo-measurement values from a new
+// round's incoming packets. The packet layout (count, senders, per-packet
+// state order) is topology-determined and must match the build-time layout;
+// a mismatch returns an error wrapping ErrStaleSkeleton.
+func (sp *Subproblem) UpdatePseudo(pseudo []PseudoPacket) error {
+	if sp.src == nil {
+		return fmt.Errorf("%w: skeleton has no refresh provenance", ErrStaleSkeleton)
+	}
+	if len(pseudo) != sp.nPackets {
+		return fmt.Errorf("%w: %d incoming packets, skeleton built from %d", ErrStaleSkeleton, len(pseudo), sp.nPackets)
+	}
+	mod := sp.Model
+	for _, ps := range sp.pseudo {
+		pkt := &pseudo[ps.pkt]
+		if int32(pkt.FromSub) != ps.fromSub || int(ps.state) >= len(pkt.States) {
+			return fmt.Errorf("%w: packet %d layout changed", ErrStaleSkeleton, ps.pkt)
+		}
+		bs := pkt.States[ps.state]
+		if int32(bs.BusID) != ps.busID {
+			return fmt.Errorf("%w: packet %d state %d moved to bus %d", ErrStaleSkeleton, ps.pkt, ps.state, bs.BusID)
+		}
+		if ps.angle {
+			mod.Meas[ps.mi].Value = bs.Va
+		} else {
+			mod.Meas[ps.mi].Value = bs.Vm
+		}
+	}
+	return nil
 }
 
 // ReplaceMeasurements rebuilds the subproblem's model with a different
 // measurement set over the same sub-network (used by observability
-// restoration).
+// restoration). When ms extends the current measurement set as a strict
+// prefix with flat-profile restoration entries (Angle at the reference
+// angle, Vmag at 1 pu), the refresh provenance is extended so the skeleton
+// stays value-refreshable; any other replacement drops the provenance, and
+// UpdateMeasurements will then report the skeleton stale.
 func (sp *Subproblem) ReplaceMeasurements(ms []meas.Measurement) error {
 	localRef, ok := sp.Net.Index(sp.refBusID)
 	if !ok {
 		return fmt.Errorf("core: reference bus %d missing from sub-network", sp.refBusID)
 	}
+	old := sp.Model.Meas
 	mod, err := meas.NewModel(sp.Net, ms, localRef, sp.refAngle)
 	if err != nil {
 		return err
 	}
 	sp.Model = mod
+	if sp.src == nil {
+		return nil
+	}
+	keep := len(ms) >= len(old)
+	for i := 0; keep && i < len(old); i++ {
+		m, o := ms[i], old[i]
+		keep = m.Kind == o.Kind && m.Bus == o.Bus && m.Branch == o.Branch &&
+			m.FromSide == o.FromSide && m.Sigma == o.Sigma
+	}
+	for i := len(old); keep && i < len(ms); i++ {
+		m := ms[i]
+		switch {
+		case m.Kind == meas.Angle && m.Value == sp.refAngle:
+			sp.restored = append(sp.restored, restoredSlot{mi: int32(i), angle: true})
+		case m.Kind == meas.Vmag && m.Value == 1:
+			sp.restored = append(sp.restored, restoredSlot{mi: int32(i)})
+		default:
+			keep = false
+		}
+		sp.src = append(sp.src, -1)
+		sp.srcBranch = append(sp.srcBranch, -1)
+	}
+	if !keep {
+		sp.src, sp.srcBranch, sp.pseudo, sp.restored = nil, nil, nil, nil
+	}
 	return nil
 }
 
@@ -308,12 +492,21 @@ func (sp *Subproblem) MergeInto(d *Decomposition, st powerflow.State, global *po
 }
 
 func findRefAngle(ms []meas.Measurement, busID int) (float64, bool) {
-	for _, m := range ms {
-		if m.Kind == meas.Angle && m.Bus == busID {
-			return m.Value, true
-		}
+	if i := refAngleSource(ms, busID); i >= 0 {
+		return ms[i].Value, true
 	}
 	return 0, false
+}
+
+// refAngleSource returns the frame position of the first PMU angle
+// measurement at busID, or -1 when the frame has none.
+func refAngleSource(ms []meas.Measurement, busID int) int {
+	for i, m := range ms {
+		if m.Kind == meas.Angle && m.Bus == busID {
+			return i
+		}
+	}
+	return -1
 }
 
 func intSet(xs []int) map[int]bool {

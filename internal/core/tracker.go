@@ -16,9 +16,9 @@ type Tracker struct {
 	Opts DSEOptions
 
 	warm [][]float64
-	// cache keeps the per-subsystem solver engines alive across frames, so
-	// the symbolic Jacobian/gain plans are built once for the whole
-	// tracking session rather than once per frame.
+	// cache pins the tracker's Session across frames: subproblem skeletons,
+	// solver engines, and Step-2 warm carries are built on the first frame
+	// and value-refreshed on every later one.
 	cache *DSECache
 	// Frames counts processed frames.
 	Frames int
@@ -64,8 +64,9 @@ func (t *Tracker) Step(ctx context.Context, frame []meas.Measurement) (*DSEResul
 	return res, nil
 }
 
-// Reset drops the warm-start state (after a topology change, for example,
-// the old state vectors no longer match the subproblem layout).
+// Reset drops the warm-start state and the session — skeletons, engines,
+// and warm carries together (after a topology change, for example, all of
+// them describe a layout that no longer exists).
 func (t *Tracker) Reset() {
 	t.warm = nil
 	t.cache = nil

@@ -422,6 +422,16 @@ func (mod *Model) Weights() []float64 {
 	return w
 }
 
+// RefAngle returns the fixed angle of the reference bus.
+func (mod *Model) RefAngle() float64 { return mod.refAngle }
+
+// SetRefAngle rebinds the fixed reference-bus angle in place. The reference
+// angle is a measurement value, not structure: h(x), H(x), and every
+// symbolic plan read it live through the model, so retargeting it is the
+// value-only companion of UpdateValues for streaming PMU frames where the
+// reference PMU reports a fresh synchronized angle.
+func (mod *Model) SetRefAngle(a float64) { mod.refAngle = a }
+
 // UpdateValues replaces the measurement values in place from a structurally
 // identical measurement set (same kinds, locations, and sigmas, in the same
 // order). It is how a streaming frame of fresh telemetry is folded into an
@@ -450,7 +460,9 @@ func (mod *Model) SameStructure(other *Model) bool {
 	if other == nil || mod.NState() != other.NState() || len(mod.Meas) != len(other.Meas) {
 		return false
 	}
-	if mod.refBus != other.refBus || mod.refAngle != other.refAngle {
+	// refAngle is deliberately not compared: it is a per-frame measurement
+	// value (see SetRefAngle), and no symbolic plan depends on it.
+	if mod.refBus != other.refBus {
 		return false
 	}
 	a, b := mod.Net, other.Net

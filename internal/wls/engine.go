@@ -166,6 +166,14 @@ func (e *Engine) estimateWeighted(ctx context.Context, opts Options, scale []flo
 	for i, m := range mod.Meas {
 		e.z[i] = m.Value
 	}
+	if opts.X0 != nil && opts.X0Gate > 0 {
+		// Scaled-residual warm-start gate: keep X0 only if it explains the
+		// current measurement values markedly better than the flat profile.
+		flat := mod.FlatVec()
+		if e.weightedSSR(x) > opts.X0Gate*e.weightedSSR(flat) {
+			copy(x, flat)
+		}
+	}
 
 	res := &Result{}
 	e.havePrevDx = false
@@ -246,6 +254,18 @@ func (e *Engine) SolveLinear(opts Options) (*Result, error) {
 	sparse.Axpy(1, dx, x)
 	e.finish(res, x)
 	return res, nil
+}
+
+// weightedSSR evaluates J(x) = Σ wᵢ·(zᵢ − hᵢ(x))² with the engine's current
+// weights and measurement vector, reusing the h/r buffers.
+func (e *Engine) weightedSSR(x []float64) float64 {
+	e.jplan.EvalInto(e.h, x)
+	sparse.Sub(e.r, e.z, e.h)
+	var j float64
+	for i, r := range e.r {
+		j += e.w[i] * r * r
+	}
+	return j
 }
 
 // finish evaluates the final residuals and fills the caller-owned result

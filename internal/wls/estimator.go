@@ -154,7 +154,22 @@ type Options struct {
 	Workers int
 	// X0 is an optional warm-start state vector; nil selects flat start.
 	X0 []float64
+	// X0Gate, when positive, guards the warm start behind a scaled-residual
+	// test: X0 is kept only while its weighted residual J(X0) stays within
+	// X0Gate·J(flat) of the flat start's, and otherwise the solve quietly
+	// falls back to the flat profile — the Gauss–Newton analogue of the CG
+	// warm-start gate. Zero accepts X0 unconditionally (the historical
+	// behavior); WarmStartGate is the standard choice for cross-round and
+	// cross-frame warm starts. Ignored when X0 is nil.
+	X0Gate float64
 }
+
+// WarmStartGate is the standard Options.X0Gate for warm starts carried
+// across DSE rounds or tracking frames: the previous solution is kept only
+// if it fits the new measurement values at least ten times better than the
+// flat profile, so a topology event or load step that invalidates the carry
+// never drags Gauss–Newton through a bad basin.
+const WarmStartGate = 0.1
 
 // Result reports a WLS estimation run.
 type Result struct {

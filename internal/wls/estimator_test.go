@@ -427,3 +427,42 @@ func TestZeroInjectionVirtualMeasurements(t *testing.T) {
 	}
 	t.Logf("bus-7 angle error: without virtual %g, with virtual %g", ePlain, eVirt)
 }
+
+// TestX0GateRejectsBadStart: with a gate set, an X0 whose weighted
+// residual exceeds gate x J(flat) is discarded — the solve must reproduce
+// the flat-start result exactly — while a good X0 passes the gate and
+// saves iterations.
+func TestX0GateRejectsBadStart(t *testing.T) {
+	n := grid.Case118()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 13)
+	flat, err := Estimate(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := make([]float64, mod.NState())
+	for i := range bad {
+		bad[i] = 3 // absurd operating point: 3 pu / 3 rad everywhere
+	}
+	gated, err := Estimate(mod, Options{X0: bad, X0Gate: WarmStartGate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Iterations != flat.Iterations {
+		t.Errorf("gated bad start took %d iterations, flat start %d — gate did not reject", gated.Iterations, flat.Iterations)
+	}
+	for i := range flat.X {
+		if gated.X[i] != flat.X[i] {
+			t.Fatalf("gated bad start diverged from flat start at state %d", i)
+		}
+	}
+
+	good, err := Estimate(mod, Options{X0: flat.X, X0Gate: WarmStartGate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Iterations > flat.Iterations {
+		t.Errorf("gated good start took %d iterations vs %d flat — gate rejected a good X0", good.Iterations, flat.Iterations)
+	}
+}
