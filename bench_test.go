@@ -529,7 +529,10 @@ func BenchmarkDSE118Rounds(b *testing.B) {
 // BenchmarkTrackerFrames measures the steady-state tracked-frame cost:
 // the first frame (symbolic build — skeletons, models, solver plans) is
 // paid before the timer starts, so every timed iteration is a
-// value-refreshed, warm-started full DSE pass on the pinned session.
+// value-refreshed, warm-started full DSE pass on the pinned session under
+// the tracker's default numeric-reuse tier (ReuseGain). The reported
+// gain-skip-frac is the fraction of gain-solve iterations that ran on the
+// previous frame's G and preconditioner.
 func BenchmarkTrackerFrames(b *testing.B) {
 	fx := benchFixture(b)
 	tracker := core.NewTracker(fx.Dec, core.DSEOptions{Rounds: 2})
@@ -538,10 +541,124 @@ func BenchmarkTrackerFrames(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var skips, total int
 	for i := 0; i < b.N; i++ {
-		if _, err := tracker.Process(fx.Meas); err != nil {
+		res, err := tracker.Process(fx.Meas)
+		if err != nil {
 			b.Fatal(err)
 		}
+		skips += res.Step1Stats.GainSkips + res.Step2Stats.GainSkips
+		total += res.Step1Stats.GainSkips + res.Step2Stats.GainSkips +
+			res.Step1Stats.GainRefreshes + res.Step2Stats.GainRefreshes
+	}
+	if total > 0 {
+		b.ReportMetric(float64(skips)/float64(total), "gain-skip-frac")
+	}
+}
+
+// reuseModes is the numeric-reuse benchmark axis.
+var reuseModes = []struct {
+	name string
+	kind wls.GainReuseKind
+}{
+	{"off", wls.ReuseOff},
+	{"precond", wls.ReusePrecond},
+	{"gain", wls.ReuseGain},
+}
+
+// BenchmarkTrackerFramesReuse crosses the steady-state tracked frame with
+// the numeric-reuse tier, isolating what each tier saves on the hot
+// tracking path (BenchmarkTrackerFrames keeps its historical name and
+// default for cross-record comparison).
+func BenchmarkTrackerFramesReuse(b *testing.B) {
+	fx := benchFixture(b)
+	for _, mode := range reuseModes {
+		b.Run(mode.name, func(b *testing.B) {
+			tracker := core.NewTracker(fx.Dec, core.DSEOptions{Rounds: 2, WLS: wls.Options{GainReuse: mode.kind}})
+			if _, err := tracker.Process(fx.Meas); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var skips, total int
+			for i := 0; i < b.N; i++ {
+				res, err := tracker.Process(fx.Meas)
+				if err != nil {
+					b.Fatal(err)
+				}
+				skips += res.Step1Stats.GainSkips + res.Step2Stats.GainSkips
+				total += res.Step1Stats.GainSkips + res.Step2Stats.GainSkips +
+					res.Step1Stats.GainRefreshes + res.Step2Stats.GainRefreshes
+			}
+			if total > 0 {
+				b.ReportMetric(float64(skips)/float64(total), "gain-skip-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkDSE118RoundsReuse crosses the standalone 4-round DSE run with
+// the numeric-reuse tier: rounds past the first re-solve nearly identical
+// Step-2 systems, so the drift gate engages within a single run even
+// without tracking.
+func BenchmarkDSE118RoundsReuse(b *testing.B) {
+	fx := benchFixture(b)
+	for _, mode := range reuseModes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var skips, total int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunDSE(context.Background(), fx.Dec, fx.Meas,
+					core.DSEOptions{Rounds: 4, WLS: wls.Options{GainReuse: mode.kind}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				skips += res.Step1Stats.GainSkips + res.Step2Stats.GainSkips
+				total += res.Step1Stats.GainSkips + res.Step2Stats.GainSkips +
+					res.Step1Stats.GainRefreshes + res.Step2Stats.GainRefreshes
+			}
+			if total > 0 {
+				b.ReportMetric(float64(skips)/float64(total), "gain-skip-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkGainReuse118 isolates the refresh-skip saving on one engine:
+// the IEEE-118 centralized estimate is re-solved from its own solution —
+// the numeric profile of a steady tracked frame — so under ReuseGain every
+// timed solve skips the gain scatter and the preconditioner refresh.
+func BenchmarkGainReuse118(b *testing.B) {
+	fx := benchFixture(b)
+	ref := fx.Net.SlackIndex()
+	for _, mode := range reuseModes {
+		b.Run(mode.name, func(b *testing.B) {
+			mod, err := meas.NewModel(fx.Net, fx.Meas, ref, fx.Truth.Va[ref])
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := wls.NewEngine(mod)
+			opts := wls.Options{GainReuse: mode.kind}
+			cold, err := eng.Estimate(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts.X0 = append([]float64(nil), cold.X...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var skips, total int
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Estimate(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				skips += res.GainSkips
+				total += res.GainSkips + res.GainRefreshes
+			}
+			if total > 0 {
+				b.ReportMetric(float64(skips)/float64(total), "gain-skip-frac")
+			}
+		})
 	}
 }
 

@@ -33,8 +33,23 @@ func main() {
 		hier       = flag.Bool("hierarchical", false, "run the coordinator-based hierarchical mode instead of peer-to-peer DSE")
 		refine     = flag.Bool("refine", false, "with -hierarchical: coordinator re-estimates the boundary system")
 		frames     = flag.Int("frames", 1, "track this many measurement frames in-process (session reuse + warm starts)")
+		gainReuse  = flag.String("gain-reuse", "auto", "drift-gated gain/preconditioner reuse: auto, off, precond, gain")
 	)
 	flag.Parse()
+
+	reuseKind := gridse.ReuseAuto
+	switch *gainReuse {
+	case "auto":
+	case "off":
+		reuseKind = gridse.ReuseOff
+	case "precond":
+		reuseKind = gridse.ReusePrecond
+	case "gain":
+		reuseKind = gridse.ReuseGain
+	default:
+		log.Fatalf("unknown -gain-reuse %q (want auto, off, precond or gain)", *gainReuse)
+	}
+	wlsOpts := gridse.EstimatorOptions{GainReuse: reuseKind}
 
 	// Interrupt (Ctrl-C) or SIGTERM cancels the run cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -68,7 +83,7 @@ func main() {
 		// decomposition. The first frame pays the symbolic build (skeletons,
 		// solver plans); every later frame is a value-only refresh with
 		// warm-started solves, so its cost is the steady-state frame cost.
-		tracker := gridse.NewTracker(dec, gridse.DSEOptions{Rounds: *rounds})
+		tracker := gridse.NewTracker(dec, gridse.DSEOptions{Rounds: *rounds, WLS: wlsOpts})
 		for f := 0; f < *frames; f++ {
 			fms, err := gridse.SimulateMeasurements(net, plan, truth.State, *noise, *seed+int64(f))
 			if err != nil {
@@ -79,15 +94,19 @@ func main() {
 			if err != nil {
 				log.Fatalf("frame %d: %v", f, err)
 			}
-			fmt.Printf("frame %d: %v (step1 %d GN iters, step2 %d GN iters)\n",
+			skips := res.Step1Stats.GainSkips + res.Step2Stats.GainSkips
+			refreshes := res.Step1Stats.GainRefreshes + res.Step2Stats.GainRefreshes
+			fmt.Printf("frame %d: %v (step1 %d GN iters, step2 %d GN iters, gain refresh skipped %d/%d)\n",
 				f, time.Since(frameStart).Round(time.Microsecond),
-				res.Step1Stats.Iterations, res.Step2Stats.Iterations)
+				res.Step1Stats.Iterations, res.Step2Stats.Iterations,
+				skips, skips+refreshes)
 			state = res.State
 		}
 	} else if *hier {
 		res, err := gridse.RunHierarchical(ctx, dec, ms, gridse.DistributedOptions{
 			Clusters:           *clusters,
 			HierarchicalRefine: *refine,
+			DSE:                gridse.DSEOptions{WLS: wlsOpts},
 		})
 		if err != nil {
 			log.Fatalf("hierarchical: %v", err)
@@ -96,7 +115,7 @@ func main() {
 			res.Duration.Round(time.Microsecond), res.CoordinatorBytes, *refine)
 		state = res.State
 	} else if *inproc {
-		res, err := gridse.RunDSE(ctx, dec, ms, gridse.DSEOptions{Rounds: *rounds})
+		res, err := gridse.RunDSE(ctx, dec, ms, gridse.DSEOptions{Rounds: *rounds, WLS: wlsOpts})
 		if err != nil {
 			log.Fatalf("dse: %v", err)
 		}
@@ -109,7 +128,7 @@ func main() {
 		opts := gridse.DistributedOptions{
 			Clusters:  *clusters,
 			NoMapping: *noMapping,
-			DSE:       gridse.DSEOptions{Rounds: *rounds},
+			DSE:       gridse.DSEOptions{Rounds: *rounds, WLS: wlsOpts},
 		}
 		if *shaped {
 			opts.Transport = cluster.NewShapedTransport(cluster.LabNetworkProfile(), nil)

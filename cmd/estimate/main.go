@@ -25,6 +25,7 @@ func main() {
 		solver   = flag.String("solver", "pcg", "gain-matrix solver: pcg|dense|qr")
 		precond  = flag.String("precond", "jacobi", "PCG preconditioner: none|jacobi|bjacobi|ic0|ssor")
 		format   = flag.String("format", "auto", "gain-matrix layout: auto|csr|bsr")
+		reuse    = flag.String("gain-reuse", "auto", "drift-gated gain/preconditioner reuse: auto|off|precond|gain")
 		workers  = flag.Int("workers", 0, "parallel mat-vec workers (0 = GOMAXPROCS)")
 		plan     = flag.String("plan", "full", "metering plan: full|rtu|pmu")
 		baddata  = flag.Bool("baddata", false, "run chi-square bad-data detection")
@@ -95,6 +96,18 @@ func main() {
 		opts.Format = gridse.FormatBSR
 	default:
 		log.Fatalf("unknown format %q", *format)
+	}
+	switch *reuse {
+	case "auto":
+		opts.GainReuse = gridse.ReuseAuto
+	case "off":
+		opts.GainReuse = gridse.ReuseOff
+	case "precond":
+		opts.GainReuse = gridse.ReusePrecond
+	case "gain":
+		opts.GainReuse = gridse.ReuseGain
+	default:
+		log.Fatalf("unknown gain-reuse %q", *reuse)
 	}
 
 	var res *gridse.EstimatorResult

@@ -165,7 +165,7 @@ type (
 	Observability = wls.Observability
 )
 
-// Estimator solver, preconditioner, and gain-layout choices.
+// Estimator solver, preconditioner, gain-layout, and numeric-reuse choices.
 const (
 	SolverPCG          = wls.PCG
 	SolverDense        = wls.Dense
@@ -178,6 +178,10 @@ const (
 	FormatAuto         = wls.FormatAuto
 	FormatCSR          = wls.FormatCSR
 	FormatBSR          = wls.FormatBSR
+	ReuseAuto          = wls.ReuseAuto
+	ReuseOff           = wls.ReuseOff
+	ReusePrecond       = wls.ReusePrecond
+	ReuseGain          = wls.ReuseGain
 )
 
 // Estimate runs centralized WLS state estimation with default options,

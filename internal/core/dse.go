@@ -87,6 +87,15 @@ type StepStats struct {
 	Iterations int
 	// CGIterations sums inner PCG iterations across subsystems.
 	CGIterations int
+	// GainRefreshes/GainSkips/PrecondSkips/ReuseFallbacks aggregate the
+	// drift-gated numeric-reuse counters across subsystems (wls.Result):
+	// how many gain-solve iterations recomputed G = HᵀWH versus reused the
+	// lagged values, how many ran on lagged preconditioner numerics, and
+	// how many lagged steps the residual-decrease guard rolled back.
+	GainRefreshes  int
+	GainSkips      int
+	PrecondSkips   int
+	ReuseFallbacks int
 }
 
 // DSEResult is the outcome of a full DSE run.
@@ -116,7 +125,22 @@ type DSEResult struct {
 // The context governs the whole run: cancellation is checked between
 // Step-2 rounds and inside every subsystem's Gauss-Newton loop, and the
 // first subsystem error cancels its siblings (fail-fast).
+// resolveSessionReuse applies the session-layer default for the
+// drift-gated numeric-reuse knob: every session-backed orchestrator
+// resolves wls.ReuseAuto to the bit-safe ReusePrecond tier (exact gain
+// operator, lagged preconditioner numerics), so repeated rounds and
+// tracked frames skip preconditioner rebuilds by default while the
+// estimate stays pinned to the always-refresh path. The Tracker further
+// upgrades its own frames to ReuseGain (Tracker.Step).
+func resolveSessionReuse(opts DSEOptions) DSEOptions {
+	if opts.WLS.GainReuse == wls.ReuseAuto {
+		opts.WLS.GainReuse = wls.ReusePrecond
+	}
+	return opts
+}
+
 func RunDSE(ctx context.Context, d *Decomposition, global []meas.Measurement, opts DSEOptions) (*DSEResult, error) {
+	opts = resolveSessionReuse(opts)
 	m := len(d.Subsystems)
 	rounds := opts.Rounds
 	if rounds <= 0 {
@@ -335,6 +359,10 @@ func (st *StepStats) addIterations(results []*wls.Result) {
 		if r != nil {
 			st.Iterations += r.Iterations
 			st.CGIterations += r.CGIterations
+			st.GainRefreshes += r.GainRefreshes
+			st.GainSkips += r.GainSkips
+			st.PrecondSkips += r.PrecondSkips
+			st.ReuseFallbacks += r.ReuseFallbacks
 		}
 	}
 }

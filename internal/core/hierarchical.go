@@ -35,6 +35,7 @@ type HierarchicalResult struct {
 // the next Gauss-Newton iteration and unblocks the coordinator's receive
 // loop. TotalTimeout (when set) derives an overall deadline from ctx.
 func RunHierarchical(ctx context.Context, d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*HierarchicalResult, error) {
+	opts.DSE = resolveSessionReuse(opts.DSE)
 	p := opts.Clusters
 	if p <= 0 {
 		p = 3

@@ -109,6 +109,7 @@ type DistributedResult struct {
 // deadlines from ctx; with both zero and an unexpiring ctx, behavior is
 // identical to the pre-context implementation.
 func RunDistributed(ctx context.Context, d *Decomposition, global []meas.Measurement, opts DistributedOptions) (*DistributedResult, error) {
+	opts.DSE = resolveSessionReuse(opts.DSE)
 	p := opts.Clusters
 	if p <= 0 {
 		p = 3

@@ -97,18 +97,28 @@ func (s *Session) Reset() {
 }
 
 // beginRun prepares the session for one orchestrator call. Warm-start
-// carries are kept only for a continuing tracking run (the caller supplied
-// the previous frame's solutions); a standalone run always starts cold so
-// that repeated runs over the same data stay bit-identical.
+// carries and the engines' drift-gated numeric-reuse anchors are kept only
+// for a continuing tracking run (the caller supplied the previous frame's
+// solutions); a standalone run always starts cold so that repeated runs
+// over the same data stay bit-identical.
 func (s *Session) beginRun(continuing bool) {
 	if continuing {
 		return
 	}
 	for i := range s.subs {
 		s.subs[i].warm2, s.subs[i].haveWarm2 = nil, false
+		if s.subs[i].eng1 != nil {
+			s.subs[i].eng1.ResetReuse()
+		}
+		if s.subs[i].eng2 != nil {
+			s.subs[i].eng2.ResetReuse()
+		}
 	}
 	if s.boundary != nil {
 		s.boundary.warm, s.boundary.haveWarm = nil, false
+		if s.boundary.eng != nil {
+			s.boundary.eng.ResetReuse()
+		}
 	}
 }
 

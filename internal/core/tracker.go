@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/meas"
+	"repro/internal/wls"
 )
 
 // Tracker runs distributed state estimation over successive measurement
@@ -42,6 +43,14 @@ func (t *Tracker) Process(frame []meas.Measurement) (*DSEResult, error) {
 func (t *Tracker) Step(ctx context.Context, frame []meas.Measurement) (*DSEResult, error) {
 	opts := t.Opts
 	opts.WarmStart = t.warm
+	if opts.WLS.GainReuse == wls.ReuseAuto {
+		// Tracking operation defaults to the full lagged-gain tier: steady
+		// frames drift far below the reuse gate, so whole Step-1/Step-2
+		// solves run on the previous frame's gain and preconditioner
+		// numerics, and the residual-decrease guard forces a refresh the
+		// moment an event breaks the steady state.
+		opts.WLS.GainReuse = wls.ReuseGain
+	}
 	if opts.Cache == nil {
 		if t.cache == nil {
 			t.cache = &DSECache{}

@@ -48,6 +48,40 @@ func Scal(alpha float64, v []float64) {
 // CopyVec returns a fresh copy of v.
 func CopyVec(v []float64) []float64 { return append([]float64(nil), v...) }
 
+// ScaledDriftInf returns the scaled ∞-norm drift of x from a reference
+// state xref: maxᵢ |xᵢ − xrefᵢ| / (1 + |xrefᵢ|). Per-unit voltage
+// magnitudes and radian angles are both O(1), so the +1 denominator keeps
+// the scaling meaningful for entries near zero without ever inflating the
+// drift. Mismatched lengths report +Inf — a layout change is maximal drift,
+// so gated callers always refresh.
+func ScaledDriftInf(x, xref []float64) float64 {
+	if len(x) != len(xref) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for i, v := range x {
+		if s := math.Abs(v-xref[i]) / (1 + math.Abs(xref[i])); s > d {
+			d = s
+		}
+	}
+	return d
+}
+
+// EqualVec reports whether a and b hold bitwise-identical values (including
+// length). NaN entries compare unequal, which is the conservative answer
+// for cache-validity checks.
+func EqualVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Sub computes dst = a - b. dst may alias a or b.
 func Sub(dst, a, b []float64) {
 	if len(dst) != len(a) || len(a) != len(b) {

@@ -42,13 +42,16 @@ func NormalizedResiduals(res *Result, mod *meas.Model) ([]float64, error) {
 	hj := mod.Jacobian(res.X)
 	w := mod.Weights()
 	g := sparse.Gain(hj, w)
-	return normalizedResiduals(res, mod, hj, g)
+	return normalizedResiduals(res, mod, hj, g, nil)
 }
 
 // normalizedResiduals is the covariance computation shared by the
 // standalone path (fresh H and G) and the engine path (plan-refreshed H
-// and G).
-func normalizedResiduals(res *Result, mod *meas.Model, hj, g *sparse.CSR) ([]float64, error) {
+// and G). w carries the effective weights when the engine path has masked
+// measurements (nil means all rows are active): a masked row contributes
+// nothing to G, so the Ω_ii formula does not apply to it and it reports 0
+// — masked measurements carry no information and are never flagged.
+func normalizedResiduals(res *Result, mod *meas.Model, hj, g *sparse.CSR, w []float64) ([]float64, error) {
 	lu, err := sparse.Factor(g.ToDense())
 	if err != nil {
 		return nil, fmt.Errorf("wls: gain factorization for residual covariance: %w", err)
@@ -59,6 +62,10 @@ func normalizedResiduals(res *Result, mod *meas.Model, hj, g *sparse.CSR) ([]flo
 	// For each measurement row h_i: Ω_ii = R_ii − h_i·G⁻¹·h_iᵀ.
 	hi := make([]float64, n)
 	for i := 0; i < m; i++ {
+		if w != nil && w[i] == 0 {
+			out[i] = 0
+			continue
+		}
 		for j := range hi {
 			hi[j] = 0
 		}
@@ -89,10 +96,21 @@ type BadDatum struct {
 }
 
 // IdentifyBadData runs the classical largest-normalized-residual cycle:
-// estimate, test, remove the worst measurement, repeat, until all
-// normalized residuals fall below the identification threshold (typically
-// 3.0) or maxRemovals is reached. It returns the removed measurements and
-// the final clean estimation result.
+// estimate, test, mask the worst measurement, repeat, until all normalized
+// residuals fall below the identification threshold (typically 3.0) or
+// maxRemovals is reached. It returns the identified measurements (indices
+// into the original model's measurement slice) and the final clean
+// estimation result.
+//
+// One engine serves the whole sweep: each identified measurement is masked
+// in place (Engine.MaskMeasurement zeroes its weight slot) instead of being
+// removed from the model, so the Jacobian and gain skeletons — and with
+// them every symbolic plan — survive across identification rounds. A zero
+// weight eliminates the row's contribution to G, the right-hand side, and
+// the objective exactly, so the masked estimate matches the
+// removed-measurement estimate to assembly-order roundoff. The final
+// Result therefore reports full-length residuals, with the masked rows
+// excluded from ObjectiveJ.
 func IdentifyBadData(mod *meas.Model, opts Options, threshold float64, maxRemovals int) ([]BadDatum, *Result, error) {
 	if threshold <= 0 {
 		threshold = 3.0
@@ -100,28 +118,9 @@ func IdentifyBadData(mod *meas.Model, opts Options, threshold float64, maxRemova
 	if maxRemovals <= 0 {
 		maxRemovals = 5
 	}
-	type idxMeas struct {
-		orig int
-		m    meas.Measurement
-	}
-	working := make([]idxMeas, len(mod.Meas))
-	for i, m := range mod.Meas {
-		working[i] = idxMeas{i, m}
-	}
+	eng := NewEngine(mod)
 	var removed []BadDatum
 	for {
-		ms := make([]meas.Measurement, len(working))
-		for i, im := range working {
-			ms[i] = im.m
-		}
-		ref := mod.Net.SlackIndex()
-		sub, err := meas.NewModel(mod.Net, ms, ref, refAngleOf(mod))
-		if err != nil {
-			return nil, nil, err
-		}
-		// One engine per working set: the estimation and the residual
-		// covariance share the same Jacobian and gain plans.
-		eng := NewEngine(sub)
 		res, err := eng.Estimate(opts)
 		if err != nil {
 			return removed, res, err
@@ -132,7 +131,7 @@ func IdentifyBadData(mod *meas.Model, opts Options, threshold float64, maxRemova
 		}
 		worst, worstVal := -1, threshold
 		for i, v := range rn {
-			if v > worstVal {
+			if !eng.MaskedMeasurement(i) && v > worstVal {
 				worst, worstVal = i, v
 			}
 		}
@@ -143,11 +142,13 @@ func IdentifyBadData(mod *meas.Model, opts Options, threshold float64, maxRemova
 			return removed, res, fmt.Errorf("wls: still detecting bad data after %d removals", maxRemovals)
 		}
 		removed = append(removed, BadDatum{
-			Index:      working[worst].orig,
-			Key:        working[worst].m.Key(),
+			Index:      worst,
+			Key:        mod.Meas[worst].Key(),
 			Normalized: worstVal,
 		})
-		working = append(working[:worst], working[worst+1:]...)
+		if err := eng.MaskMeasurement(worst); err != nil {
+			return removed, res, err
+		}
 	}
 }
 

@@ -60,7 +60,40 @@ type Engine struct {
 	preKind PrecondKind
 	preBSR  bool // cached preconditioner was built on the blocked layout
 	havePre bool
+
+	// reuse anchors the drift-gated numeric-reuse tier (Options.GainReuse):
+	// the state and weights at the last full gain+preconditioner refresh,
+	// the gain system refreshed there, and the resolved solve configuration
+	// it is valid for. skipPre makes the next preconditioner lookup return
+	// the cached numerics without an in-place refresh.
+	reuse   gainReuse
+	skipPre bool
+	xTrial  []float64 // length n, lagged-gain guard trial iterate
+	hValid  bool      // h/r already hold the next iterate's values (accepted trial)
 }
+
+// gainReuse is the numeric-reuse anchor carried across Gauss–Newton
+// iterations and solves. valid flips false whenever G's values are
+// rewritten outside the anchor bookkeeping (ReuseOff solves, SolveLinear,
+// NormalizedResiduals) or the session starts a standalone run.
+type gainReuse struct {
+	valid   bool
+	x       []float64 // length n, state at last refresh
+	w       []float64 // length m, weights at last refresh
+	gs      gainSystem
+	format  FormatKind
+	ord     OrderingKind
+	precond PrecondKind
+	freshCG int // CG iterations of the anchoring fresh solve (guard budget)
+}
+
+// Lagged-gain guard budget: a lagged CG solve may spend up to
+// reuseCGFactor× the anchoring fresh solve's iterations (plus slack for
+// tiny counts) before the guard declares the stale operator unprofitable.
+const (
+	reuseCGFactor = 3
+	reuseCGSlack  = 8
+)
 
 // gainSystem is the refreshed gain matrix a solve runs against: the plan
 // (whose scalar G the Dense path and scalar preconditioners consume), the
@@ -91,10 +124,19 @@ func NewEngine(mod *meas.Model) *Engine {
 		dx:     make([]float64, n),
 		prevDx: make([]float64, n),
 		work:   sparse.NewCGWorkspace(n),
+		xTrial: make([]float64, n),
 	}
+	e.reuse.x = make([]float64, n)
+	e.reuse.w = make([]float64, m)
 	e.gplan = sparse.NewGainPlan(e.jplan.H)
 	return e
 }
+
+// ResetReuse drops the drift-gated numeric-reuse anchor: the next gain
+// solve refreshes G and the preconditioner unconditionally regardless of
+// drift. Sessions call it at the start of standalone runs so repeated runs
+// stay bit-identical; tracking operation never needs it.
+func (e *Engine) ResetReuse() { e.reuse.valid = false }
 
 // Model returns the model the engine is currently bound to.
 func (e *Engine) Model() *meas.Model { return e.mod }
@@ -114,6 +156,35 @@ func (e *Engine) Rebind(mod *meas.Model) error {
 		e.baseW[i] = 1 / (m.Sigma * m.Sigma)
 	}
 	return nil
+}
+
+// MaskMeasurement zeroes measurement i's weight slot in place. The row
+// stays in the Jacobian and gain skeletons — the symbolic plans are
+// untouched, so no layout change and no rebuild — but a zero weight kills
+// every contribution the row makes to G = HᵀWH, the right-hand side, and
+// the objective, which is numerically equivalent to removing it (adding an
+// exact 0.0 to a floating-point accumulation is an identity). Masks
+// persist across solves on this engine until UnmaskAll; Rebind also resets
+// them, since it recomputes the base weights from the new model's sigmas.
+func (e *Engine) MaskMeasurement(i int) error {
+	if i < 0 || i >= len(e.baseW) {
+		return fmt.Errorf("wls: mask index %d outside [0,%d)", i, len(e.baseW))
+	}
+	e.baseW[i] = 0
+	return nil
+}
+
+// MaskedMeasurement reports whether measurement i is currently masked.
+func (e *Engine) MaskedMeasurement(i int) bool {
+	return i >= 0 && i < len(e.baseW) && e.baseW[i] == 0
+}
+
+// UnmaskAll restores every measurement's 1/σ² base weight, clearing all
+// masks set by MaskMeasurement.
+func (e *Engine) UnmaskAll() {
+	for i, m := range e.mod.Meas {
+		e.baseW[i] = 1 / (m.Sigma * m.Sigma)
+	}
 }
 
 // Estimate runs Gauss–Newton WLS estimation, reusing the engine's plans.
@@ -175,33 +246,49 @@ func (e *Engine) estimateWeighted(ctx context.Context, opts Options, scale []flo
 		}
 	}
 
+	mode := resolveReuse(opts)
+	gate := opts.ReuseGate
+	if gate <= 0 {
+		if mode == ReuseGain {
+			gate = ReuseGainGateDefault
+		} else {
+			gate = ReuseGateDefault
+		}
+	}
+	if mode == ReuseOff {
+		// An unguarded solve rewrites G outside the anchor bookkeeping, so
+		// any anchor a previous gated solve left behind is stale after it.
+		e.reuse.valid = false
+	}
+
 	res := &Result{}
 	e.havePrevDx = false
+	e.hValid = false
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("wls: canceled at iteration %d: %w", iter, err)
 		}
-		e.jplan.EvalInto(e.h, x)
-		sparse.Sub(e.r, e.z, e.h)
+		if e.hValid {
+			// An accepted lagged-gain trial already evaluated h/r at this
+			// iterate (x was advanced by the exact dx the guard tried, so
+			// the buffered values are bitwise those of a re-evaluation).
+			e.hValid = false
+		} else {
+			e.jplan.EvalInto(e.h, x)
+			sparse.Sub(e.r, e.z, e.h)
+		}
 		hj := e.jplan.Refresh(x)
 
 		var dx []float64
-		var cgIters int
 		var err error
 		if opts.Solver == QR {
 			dx, err = solveQR(hj, e.w, e.r)
 		} else {
-			gs, gerr := e.refreshGain(hj, opts)
-			if gerr != nil {
-				return nil, gerr
-			}
-			e.gainRHS(hj, opts)
-			dx, cgIters, err = e.solveGain(gs, opts, cgTol)
+			dx, err = e.gainStep(x, hj, opts, cgTol, mode, gate, res)
 		}
 		if err != nil {
 			return nil, err
 		}
-		res.CGIterations += cgIters
 		sparse.Axpy(1, dx, x)
 		res.Iterations = iter + 1
 		if sparse.NormInf(dx) < tol {
@@ -220,6 +307,9 @@ func (e *Engine) estimateWeighted(ctx context.Context, opts Options, scale []flo
 // linear (PMU-only) estimation problem, reusing the engine's plans.
 // Semantics match LinearPMUEstimate's solve.
 func (e *Engine) SolveLinear(opts Options) (*Result, error) {
+	// The linear solve rewrites G and the preconditioner outside the
+	// drift-gate bookkeeping, so any reuse anchor is stale afterwards.
+	e.reuse.valid = false
 	mod := e.mod
 	x := mod.FlatVec()
 	copy(e.w, e.baseW)
@@ -440,6 +530,164 @@ func (e *Engine) gainRHS(hj *sparse.CSR, opts Options) {
 	sparse.GainRHSPool(e.rhs, hj, e.w, e.r, e.wr, e.pool, e.rhsScratch)
 }
 
+// resolveReuse maps the GainReuse knob to the tier this solve actually
+// runs. Only the PCG path has lagged numerics to skip; ReuseAuto resolves
+// to ReuseOff at this layer — callers that want a default-on tier (the
+// session orchestrators, the tracker) resolve Auto before the solve.
+func resolveReuse(opts Options) GainReuseKind {
+	if opts.Solver != PCG {
+		return ReuseOff
+	}
+	switch opts.GainReuse {
+	case ReusePrecond, ReuseGain:
+		return opts.GainReuse
+	default:
+		return ReuseOff
+	}
+}
+
+// lagTier is the per-iteration reuse decision.
+type lagTier int
+
+const (
+	lagNone    lagTier = iota // full refresh: gain and preconditioner
+	lagPrecond                // fresh gain, lagged preconditioner numerics
+	lagGain                   // lagged gain and preconditioner
+)
+
+// reuseTier gates the numeric reuse for one Gauss–Newton iteration at x:
+// the anchor must be valid for the exact solve configuration this iteration
+// resolves to (format, ordering, preconditioner — with the cached
+// preconditioner instance still present), the weights must be bitwise
+// unchanged, and the scaled state drift from the anchor must sit under the
+// gate. Anything else falls back to a full refresh.
+func (e *Engine) reuseTier(x []float64, opts Options, mode GainReuseKind, gate float64) lagTier {
+	if !e.reuse.valid {
+		return lagNone
+	}
+	format, err := e.resolveFormat(opts)
+	if err != nil || format != e.reuse.format || opts.Ordering != e.reuse.ord || opts.Precond != e.reuse.precond {
+		return lagNone
+	}
+	if opts.Precond != PrecondNone {
+		if !e.havePre || e.preKind != opts.Precond || e.preBSR != (format == FormatBSR) {
+			return lagNone
+		}
+	}
+	if !sparse.EqualVec(e.w, e.reuse.w) {
+		return lagNone
+	}
+	if sparse.ScaledDriftInf(x, e.reuse.x) > gate {
+		return lagNone
+	}
+	if mode == ReuseGain {
+		return lagGain
+	}
+	return lagPrecond
+}
+
+// noteRefresh anchors the reuse state after a fresh gain + preconditioner
+// refresh whose solve succeeded at iterate x with cg inner iterations.
+func (e *Engine) noteRefresh(x []float64, gs gainSystem, opts Options, cg int) {
+	format, err := e.resolveFormat(opts)
+	if err != nil {
+		e.reuse.valid = false
+		return
+	}
+	copy(e.reuse.x, x)
+	copy(e.reuse.w, e.w)
+	e.reuse.gs = gs
+	e.reuse.format = format
+	e.reuse.ord = opts.Ordering
+	e.reuse.precond = opts.Precond
+	e.reuse.freshCG = cg
+	e.reuse.valid = true
+}
+
+// trialImproves is the lagged-gain residual-decrease guard: the lagged step
+// dx is kept only if J(x+dx) does not exceed J(x). It consumes the
+// caller's residual at x from the r buffer before weightedSSR overwrites
+// h/r with the trial iterate's values; a fractional slack absorbs roundoff
+// on converged iterates where J is flat.
+func (e *Engine) trialImproves(x, dx []float64) bool {
+	jCur := 0.0
+	for i, r := range e.r {
+		jCur += e.w[i] * r * r
+	}
+	copy(e.xTrial, x)
+	sparse.Axpy(1, dx, e.xTrial)
+	return e.weightedSSR(e.xTrial) <= jCur*(1+1e-12)
+}
+
+// gainStep produces one Gauss–Newton step for the iterate x: it decides
+// the reuse tier for this iteration, refreshes only what that tier
+// demands, solves G·Δx = HᵀW·r, and maintains the reuse anchor plus the
+// result's refresh/skip counters. The returned slice aliases the engine's
+// dx buffer, like solveGain's.
+func (e *Engine) gainStep(x []float64, hj *sparse.CSR, opts Options, cgTol float64, mode GainReuseKind, gate float64, res *Result) ([]float64, error) {
+	tier := lagNone
+	if mode != ReuseOff {
+		tier = e.reuseTier(x, opts, mode, gate)
+	}
+	if tier == lagGain {
+		e.gainRHS(hj, opts)
+		e.skipPre = true
+		dx, cg, err := e.solveGain(e.reuse.gs, opts, cgTol)
+		e.skipPre = false
+		res.CGIterations += cg
+		if err == nil && cg <= reuseCGFactor*e.reuse.freshCG+reuseCGSlack && e.trialImproves(x, dx) {
+			res.GainSkips++
+			res.PrecondSkips++
+			e.hValid = true // the guard left h/r evaluated at x+dx
+			return dx, nil
+		}
+		// Guard tripped: the stale operator stalled the descent, CG blew
+		// its budget, or the solve failed outright. Refresh at the current
+		// iterate and re-solve. e.rhs still holds HᵀW·r for x — the guard
+		// only clobbers the h/r buffers — so only the gain scatter, the
+		// preconditioner, and the CG solve repeat.
+		res.ReuseFallbacks++
+		gs, gerr := e.refreshGain(hj, opts)
+		if gerr != nil {
+			e.reuse.valid = false
+			return nil, gerr
+		}
+		dx, cg, err = e.solveGain(gs, opts, cgTol)
+		res.CGIterations += cg
+		res.GainRefreshes++
+		if err != nil {
+			e.reuse.valid = false
+			return nil, err
+		}
+		e.noteRefresh(x, gs, opts, cg)
+		return dx, nil
+	}
+
+	gs, gerr := e.refreshGain(hj, opts)
+	if gerr != nil {
+		return nil, gerr
+	}
+	e.gainRHS(hj, opts)
+	e.skipPre = tier == lagPrecond
+	dx, cg, err := e.solveGain(gs, opts, cgTol)
+	e.skipPre = false
+	res.CGIterations += cg
+	res.GainRefreshes++
+	if err != nil {
+		e.reuse.valid = false
+		return nil, err
+	}
+	if tier == lagPrecond {
+		// The operator is fresh but the preconditioner numerics were kept:
+		// the anchor stays at the state the preconditioner was refreshed
+		// for, so the drift gate keeps measuring preconditioner staleness.
+		res.PrecondSkips++
+	} else if mode != ReuseOff {
+		e.noteRefresh(x, gs, opts, cg)
+	}
+	return dx, nil
+}
+
 // solveGain solves G·Δx = rhs with the configured solver, reusing the
 // preconditioner numerics, the CG workspace, and the previous Δx as a CG
 // warm start. gp's G (and therefore the preconditioner built from it) may
@@ -505,6 +753,10 @@ func (e *Engine) preconditioner(g *sparse.CSR, kind PrecondKind) (sparse.Precond
 		return sparse.IdentityPreconditioner{}, nil
 	}
 	if e.havePre && e.preKind == kind && !e.preBSR {
+		if e.skipPre {
+			// Drift-gated reuse: the cached numerics are close enough.
+			return e.pre, nil
+		}
 		if ref, ok := e.pre.(sparse.Refresher); ok {
 			if err := ref.Refresh(g); err == nil {
 				return e.pre, nil
@@ -546,6 +798,9 @@ func (e *Engine) preconditionerBSR(a *sparse.BSR, kind PrecondKind) (sparse.Prec
 		return sparse.IdentityPreconditioner{}, nil
 	}
 	if e.havePre && e.preKind == kind && e.preBSR {
+		if e.skipPre {
+			return e.pre, nil
+		}
 		if ref, ok := e.pre.(sparse.BSRRefresher); ok {
 			if err := ref.RefreshBSR(a); err == nil {
 				return e.pre, nil
@@ -576,8 +831,11 @@ func (e *Engine) preconditionerBSR(a *sparse.BSR, kind PrecondKind) (sparse.Prec
 // covariance assembly. See the package-level NormalizedResiduals for the
 // formulation.
 func (e *Engine) NormalizedResiduals(res *Result) ([]float64, error) {
+	// The covariance assembly rewrites the natural plan's G values outside
+	// the drift-gate bookkeeping; drop any reuse anchor that may alias it.
+	e.reuse.valid = false
 	hj := e.jplan.Refresh(res.X)
 	copy(e.w, e.baseW)
 	g := e.gplan.RefreshPool(hj, e.w, e.pool)
-	return normalizedResiduals(res, e.mod, hj, g)
+	return normalizedResiduals(res, e.mod, hj, g, e.w)
 }

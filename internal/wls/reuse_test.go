@@ -1,0 +1,287 @@
+package wls
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/sparse"
+)
+
+// refreshValues overwrites the model's measurement values with a fresh
+// noise draw over the same metering plan (layout unchanged).
+func refreshValues(t *testing.T, mod *meas.Model, n *grid.Network, truth []meas.Measurement) {
+	t.Helper()
+	if len(truth) != len(mod.Meas) {
+		t.Fatalf("frame layout drifted: %d values for %d measurements", len(truth), len(mod.Meas))
+	}
+	for i := range mod.Meas {
+		mod.Meas[i].Value = truth[i].Value
+	}
+}
+
+// TestReusePrecondMatchesAlwaysRefresh pins the bit-safe tier: tracking
+// IEEE-118 frames with ReusePrecond (exact gain operator, lagged
+// preconditioner numerics) stays within 1e-9 of the always-refresh path.
+func TestReusePrecondMatchesAlwaysRefresh(t *testing.T) {
+	n := grid.Case118()
+	truth := solved(t, n)
+	plan := meas.FullPlan().Build(n)
+	ref := n.SlackIndex()
+
+	newMod := func() *meas.Model {
+		ms, err := meas.Simulate(n, plan, truth, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := meas.NewModel(n, ms, ref, truth.Va[ref])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mod
+	}
+	modRe, modOff := newMod(), newMod()
+	engRe, engOff := NewEngine(modRe), NewEngine(modOff)
+
+	var warmRe, warmOff []float64
+	var skips int
+	for f := 0; f < 5; f++ {
+		fms, err := meas.Simulate(n, plan, truth, 1, int64(f+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refreshValues(t, modRe, n, fms)
+		refreshValues(t, modOff, n, fms)
+
+		resRe, err := engRe.Estimate(Options{GainReuse: ReusePrecond, X0: warmRe, X0Gate: WarmStartGate})
+		if err != nil {
+			t.Fatalf("frame %d reuse: %v", f, err)
+		}
+		resOff, err := engOff.Estimate(Options{GainReuse: ReuseOff, X0: warmOff, X0Gate: WarmStartGate})
+		if err != nil {
+			t.Fatalf("frame %d off: %v", f, err)
+		}
+		var worst float64
+		for i := range resRe.X {
+			if d := math.Abs(resRe.X[i] - resOff.X[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-9 {
+			t.Fatalf("frame %d: ReusePrecond state deviates %g from always-refresh (want ≤1e-9)", f, worst)
+		}
+		if resRe.GainSkips != 0 {
+			t.Fatalf("frame %d: ReusePrecond skipped %d gain refreshes (must keep the operator exact)", f, resRe.GainSkips)
+		}
+		if resOff.PrecondSkips != 0 || resOff.GainSkips != 0 {
+			t.Fatalf("frame %d: ReuseOff reported skips (%d precond, %d gain)", f, resOff.PrecondSkips, resOff.GainSkips)
+		}
+		skips += resRe.PrecondSkips
+		warmRe, warmOff = resRe.X, resOff.X
+	}
+	if skips == 0 {
+		t.Fatal("ReusePrecond never skipped a preconditioner refresh across 5 steady frames")
+	}
+	t.Logf("preconditioner refreshes skipped across frames: %d", skips)
+}
+
+// TestReuseGainFallbackOnStateJump: a state jump far past the drift gate
+// must force a fresh refresh, so a warm engine carrying a stale anchor
+// produces exactly the same solve as a cold engine.
+func TestReuseGainFallbackOnStateJump(t *testing.T) {
+	n := grid.Case118()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 7)
+	opts := Options{GainReuse: ReuseGain}
+
+	warmEng := NewEngine(mod)
+	if _, err := warmEng.Estimate(opts); err != nil {
+		t.Fatal(err) // anchors the reuse state at the solution
+	}
+	// Flat restart: scaled drift from the anchored solution is far above
+	// the gate, so the first iteration must refresh, and from there the
+	// warm engine's trajectory is the cold engine's.
+	warmRes, err := warmEng.Estimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := NewEngine(mod).Estimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warmRes.X {
+		if warmRes.X[i] != coldRes.X[i] {
+			t.Fatalf("state %d: warm %.17g != cold %.17g (stale anchor leaked into the jumped solve)", i, warmRes.X[i], coldRes.X[i])
+		}
+	}
+	if warmRes.GainRefreshes != coldRes.GainRefreshes || warmRes.GainSkips != coldRes.GainSkips ||
+		warmRes.CGIterations != coldRes.CGIterations {
+		t.Fatalf("warm counters (refresh %d, skip %d, cg %d) != cold (refresh %d, skip %d, cg %d)",
+			warmRes.GainRefreshes, warmRes.GainSkips, warmRes.CGIterations,
+			coldRes.GainRefreshes, coldRes.GainSkips, coldRes.CGIterations)
+	}
+	if warmRes.GainRefreshes == 0 {
+		t.Fatal("jumped solve never refreshed the gain matrix")
+	}
+}
+
+// TestReuseGainSteadySolveSkipsRefresh: a steady re-estimate from the
+// previous solution under ReuseGain runs entirely on lagged numerics —
+// zero gain refreshes, zero preconditioner refreshes — and allocates no
+// more than the always-refresh path.
+func TestReuseGainSteadySolveSkipsRefresh(t *testing.T) {
+	n := grid.Case118()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 9)
+
+	eng := NewEngine(mod)
+	opts := Options{GainReuse: ReuseGain, Workers: 1}
+	cold, err := eng.Estimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.X0 = sparse.CopyVec(cold.X)
+	steady, err := eng.Estimate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steady.GainRefreshes != 0 || steady.GainSkips != steady.Iterations {
+		t.Fatalf("steady solve: %d refreshes, %d skips over %d iterations (want all skipped)",
+			steady.GainRefreshes, steady.GainSkips, steady.Iterations)
+	}
+	if steady.PrecondSkips != steady.Iterations {
+		t.Fatalf("steady solve: %d preconditioner skips over %d iterations", steady.PrecondSkips, steady.Iterations)
+	}
+	if steady.ReuseFallbacks != 0 {
+		t.Fatalf("steady solve tripped the guard %d times", steady.ReuseFallbacks)
+	}
+
+	offEng := NewEngine(mod)
+	offOpts := opts
+	offOpts.GainReuse = ReuseOff
+	if _, err := offEng.Estimate(offOpts); err != nil {
+		t.Fatal(err)
+	}
+	reuseAllocs := testing.AllocsPerRun(5, func() {
+		if _, err := eng.Estimate(opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	offAllocs := testing.AllocsPerRun(5, func() {
+		if _, err := offEng.Estimate(offOpts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if reuseAllocs > offAllocs {
+		t.Fatalf("drift-gated steady solve allocates %.0f vs %.0f always-refresh (reuse must not add allocations)",
+			reuseAllocs, offAllocs)
+	}
+	t.Logf("steady-solve allocations: reuse %.0f, always-refresh %.0f", reuseAllocs, offAllocs)
+}
+
+// TestMaskMeasurementMatchesRemoval: zeroing a measurement's weight slot
+// is numerically the same estimate as rebuilding the model without the
+// row, and UnmaskAll restores the full-model estimate exactly.
+func TestMaskMeasurementMatchesRemoval(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	plan := meas.FullPlan().Build(n)
+	ref := n.SlackIndex()
+	ms, err := meas.Simulate(n, plan, truth, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := meas.NewModel(n, ms, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Estimate(mod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const drop = 10
+	eng := NewEngine(mod)
+	if err := eng.MaskMeasurement(drop); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.MaskedMeasurement(drop) || eng.MaskedMeasurement(drop+1) {
+		t.Fatal("mask bookkeeping wrong")
+	}
+	masked, err := eng.Estimate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reduced := append(append([]meas.Measurement(nil), ms[:drop]...), ms[drop+1:]...)
+	rmod, err := meas.NewModel(n, reduced, ref, truth.Va[ref])
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := Estimate(rmod, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := range masked.X {
+		if d := math.Abs(masked.X[i] - removed.X[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("masked estimate deviates %g from removed-row estimate", worst)
+	}
+	if d := math.Abs(masked.ObjectiveJ - removed.ObjectiveJ); d > 1e-9*(1+removed.ObjectiveJ) {
+		t.Fatalf("masked J=%g vs removed J=%g", masked.ObjectiveJ, removed.ObjectiveJ)
+	}
+
+	eng.UnmaskAll()
+	restored, err := eng.Estimate(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range restored.X {
+		if restored.X[i] != full.X[i] {
+			t.Fatalf("state %d after UnmaskAll: %.17g != full-model %.17g", i, restored.X[i], full.X[i])
+		}
+	}
+	if err := eng.MaskMeasurement(len(ms)); err == nil {
+		t.Fatal("out-of-range mask index accepted")
+	}
+}
+
+// TestIdentifyBadDataKeepsFullResiduals: the masking sweep reports indices
+// into the original model and a final result over the full measurement
+// set, with masked rows excluded from the objective and never re-flagged.
+func TestIdentifyBadDataKeepsFullResiduals(t *testing.T) {
+	n := grid.Case14()
+	truth := solved(t, n)
+	mod := buildModel(t, n, truth, 1, 5)
+	const corrupt = 7
+	mod.Meas[corrupt].Value += 30 * mod.Meas[corrupt].Sigma
+
+	removed, clean, err := IdentifyBadData(mod, Options{}, 3.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) == 0 {
+		t.Fatal("no bad data identified")
+	}
+	found := false
+	for _, b := range removed {
+		if b.Index == corrupt {
+			found = true
+		}
+		if b.Key != mod.Meas[b.Index].Key() {
+			t.Fatalf("identified index %d carries key %q, model says %q", b.Index, b.Key, mod.Meas[b.Index].Key())
+		}
+	}
+	if !found {
+		t.Fatalf("corrupt measurement %d not among identified %v", corrupt, removed)
+	}
+	if len(clean.Residuals) != mod.NMeas() {
+		t.Fatalf("clean result has %d residuals for %d measurements (masking must keep the full set)",
+			len(clean.Residuals), mod.NMeas())
+	}
+}
