@@ -727,21 +727,88 @@ func BenchmarkAblationContingencyScheduling(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ratings, err := contingency.AutoRatings(n, pf.State, 1.3, 0.3)
+	ratings, err := contingency.AutoRatings(n, pf.State, 1.3, 0.3, contingency.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	for _, sched := range []struct {
 		name string
 		kind contingency.Scheduling
 	}{{"static", contingency.StaticScheduling}, {"counter", contingency.CounterScheduling}} {
 		b.Run(sched.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := contingency.ParallelScreen(n, pf.State, ratings, contingency.ParallelOptions{
+				if _, err := contingency.ParallelScreen(ctx, n, pf.State, ratings, contingency.ParallelOptions{
 					Workers: 4, Scheduling: sched.kind,
 				}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkContingencyPool118 measures the session-pooled what-if
+// estimation sweep on IEEE-118: cold (a fresh pool each sweep, paying every
+// skeleton build) versus pooled (a primed pool alternating two telemetry
+// frames, value-refresh + warm-start only), under both scheduling modes.
+func BenchmarkContingencyPool118(b *testing.B) {
+	n := grid.Case118()
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := meas.FullPlan().Build(n)
+	frames := make([][]meas.Measurement, 2)
+	for i := range frames {
+		if frames[i], err = meas.Simulate(n, plan, pf.State, 1, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ratings, err := contingency.AutoRatings(n, pf.State, 1.3, 0.3, contingency.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, sched := range []struct {
+		name string
+		kind contingency.Scheduling
+	}{{"static", contingency.StaticScheduling}, {"counter", contingency.CounterScheduling}} {
+		popts := contingency.ParallelOptions{Workers: 4, Scheduling: sched.kind}
+		b.Run("cold/"+sched.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool, err := contingency.NewPool(n, contingency.PoolOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := pool.Screen(ctx, frames[i%2], ratings, nil, popts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("pooled/"+sched.name, func(b *testing.B) {
+			pool, err := contingency.NewPool(n, contingency.PoolOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := pool.Screen(ctx, frames[0], ratings, nil, popts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			skips, total := 0, 0
+			for i := 0; i < b.N; i++ {
+				_, stats, err := pool.Screen(ctx, frames[i%2], ratings, nil, popts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.SkeletonBuilds != 0 {
+					b.Fatalf("pooled sweep rebuilt %d skeletons", stats.SkeletonBuilds)
+				}
+				skips += stats.GainSkips
+				total += stats.GainSkips + stats.GainRefreshes
+			}
+			if total > 0 {
+				b.ReportMetric(float64(skips)/float64(total), "gain-skip-frac")
 			}
 		})
 	}

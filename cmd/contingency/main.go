@@ -1,10 +1,14 @@
-// Command contingency runs an N-1 DC contingency screen on a built-in or
-// synthetic case, using either the true power-flow state or a WLS estimate
-// as input, with static or counter-based dynamic parallel scheduling.
+// Command contingency runs an N-1 contingency screen on a built-in or
+// synthetic case. The default screen is the DC sweep over the true or
+// estimated state; -estimate-cases upgrades it to pooled what-if AC
+// estimation — every outage is re-estimated on its perturbed topology, and
+// -frames re-screens the same contingency list across successive telemetry
+// frames to exercise the pool's value-refresh + warm-start steady state.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,13 +30,16 @@ func main() {
 		margin    = flag.Float64("margin", 1.3, "branch rating margin over base flow")
 		floor     = flag.Float64("floor", 0.3, "minimum branch rating, pu")
 		estimated = flag.Bool("estimated", false, "screen the WLS estimate instead of the true state")
+		estCases  = flag.Bool("estimate-cases", false, "what-if estimation screen: re-estimate every outage on its perturbed topology (session-pooled)")
+		frames    = flag.Int("frames", 1, "telemetry frames to re-screen with -estimate-cases")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		sched     = flag.String("sched", "counter", "case scheduling: static|counter")
 		top       = flag.Int("top", 5, "worst violations to print")
 	)
 	flag.Parse()
 
-	// Interrupt (Ctrl-C) or SIGTERM cancels the screen cleanly.
+	// Interrupt (Ctrl-C) or SIGTERM cancels the screen cleanly: the sweeps
+	// below check the context before every case.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -63,7 +70,7 @@ func main() {
 		state = est.State
 	}
 
-	ratings, err := contingency.AutoRatings(net, truth.State, *margin, *floor)
+	ratings, err := contingency.AutoRatings(net, truth.State, *margin, *floor, contingency.Options{Workers: *workers})
 	if err != nil {
 		log.Fatalf("ratings: %v", err)
 	}
@@ -76,13 +83,17 @@ func main() {
 	default:
 		log.Fatalf("unknown scheduling %q", *sched)
 	}
+	popts := contingency.ParallelOptions{Workers: *workers, Scheduling: scheduling}
+
+	if *estCases {
+		screenPooled(ctx, net, truth, ratings, popts, *frames, *sched, *top)
+		return
+	}
 
 	start := time.Now()
-	results, err := contingency.ParallelScreen(net, state, ratings, contingency.ParallelOptions{
-		Workers: *workers, Scheduling: scheduling,
-	})
+	results, err := contingency.ParallelScreen(ctx, net, state, ratings, popts)
 	if err != nil {
-		log.Fatalf("screen: %v", err)
+		fatalScreen(ctx, err)
 	}
 	elapsed := time.Since(start)
 	cases, islanding, insecure := contingency.Summary(results)
@@ -90,7 +101,60 @@ func main() {
 		net.Name, cases, elapsed.Round(time.Millisecond), *sched)
 	fmt.Printf("islanding: %d, insecure: %d, secure: %d\n",
 		islanding, insecure, cases-islanding-insecure)
+	printWorst(net, results, *top)
+}
 
+// screenPooled runs the session-pooled what-if estimation sweep across
+// telemetry frames: each frame simulates fresh noisy measurements, and the
+// pool re-estimates every outage, paying skeleton cost only on frame 1.
+func screenPooled(ctx context.Context, net *gridse.Network, truth *gridse.PowerFlowResult, ratings []float64, popts contingency.ParallelOptions, frames int, sched string, top int) {
+	plan := gridse.FullPlan().Build(net)
+	pool, err := contingency.NewPool(net, contingency.PoolOptions{})
+	if err != nil {
+		log.Fatalf("pool: %v", err)
+	}
+	var last []contingency.CaseEstimate
+	for f := 0; f < frames; f++ {
+		ms, err := gridse.SimulateMeasurements(net, plan, truth.State, 1, int64(f+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		results, stats, err := pool.Screen(ctx, ms, ratings, nil, popts)
+		if err != nil {
+			fatalScreen(ctx, err)
+		}
+		elapsed := time.Since(start)
+		insecure := 0
+		for _, r := range results {
+			if len(r.Violations) > 0 {
+				insecure++
+			}
+		}
+		fmt.Printf("frame %d: %d what-if cases (%d islanding, %d insecure) in %v (%s scheduling)\n",
+			f+1, stats.Cases, stats.Islanding, insecure, elapsed.Round(time.Millisecond), sched)
+		fmt.Printf("  skeleton builds %d/%d, gain skips %d/%d, precond skips %d, warm starts %d, GN iters %d\n",
+			stats.SkeletonBuilds, stats.Estimated,
+			stats.GainSkips, stats.GainSkips+stats.GainRefreshes,
+			stats.PrecondSkips, stats.WarmStarts, stats.GNIterations)
+		last = results
+	}
+	var rs []contingency.Result
+	for _, ce := range last {
+		rs = append(rs, ce.Result)
+	}
+	printWorst(net, rs, top)
+}
+
+// fatalScreen distinguishes a Ctrl-C abort from a genuine screen failure.
+func fatalScreen(ctx context.Context, err error) {
+	if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+		log.Fatalf("screen canceled: %v", err)
+	}
+	log.Fatalf("screen: %v", err)
+}
+
+func printWorst(net *gridse.Network, results []contingency.Result, top int) {
 	type worst struct {
 		outage int
 		v      contingency.Violation
@@ -102,8 +166,8 @@ func main() {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].v.Loading > all[j].v.Loading })
-	if len(all) > *top {
-		all = all[:*top]
+	if len(all) > top {
+		all = all[:top]
 	}
 	for _, w := range all {
 		ob, vb := net.Branches[w.outage], net.Branches[w.v.Branch]

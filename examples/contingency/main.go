@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,15 +37,16 @@ func main() {
 		log.Fatalf("estimate: %v", err)
 	}
 
-	ratings, err := contingency.AutoRatings(net, truth.State, *margin, 0.3)
+	ratings, err := contingency.AutoRatings(net, truth.State, *margin, 0.3, contingency.Options{})
 	if err != nil {
 		log.Fatalf("ratings: %v", err)
 	}
-	onTruth, err := contingency.Screen(net, truth.State, ratings, contingency.Options{})
+	ctx := context.Background()
+	onTruth, err := contingency.Screen(ctx, net, truth.State, ratings, contingency.Options{})
 	if err != nil {
 		log.Fatalf("screen truth: %v", err)
 	}
-	onEstimate, err := contingency.Screen(net, est.State, ratings, contingency.Options{})
+	onEstimate, err := contingency.Screen(ctx, net, est.State, ratings, contingency.Options{})
 	if err != nil {
 		log.Fatalf("screen estimate: %v", err)
 	}

@@ -1,12 +1,16 @@
-// Package contingency implements DC-power-flow N-1 contingency screening —
-// one of the operational tools the paper's introduction lists as consumers
-// of the estimated state ("contingency analysis, optimal power flow,
-// economic dispatch"). The screen takes the state estimator's solution,
-// derives bus injections, and for every single-branch outage re-solves the
-// DC network to flag post-contingency overloads and islanding.
+// Package contingency implements N-1 contingency screening — one of the
+// operational tools the paper's introduction lists as consumers of the
+// estimated state ("contingency analysis, optimal power flow, economic
+// dispatch"). The screen takes the state estimator's solution, derives bus
+// injections, and for every single-branch outage re-solves the DC network
+// to flag post-contingency overloads and islanding. A Pool upgrades the
+// screen to full what-if AC estimation: per-outage solver sessions re-run
+// the WLS estimator on each perturbed topology and carry their symbolic
+// plans and numeric anchors across re-screens.
 package contingency
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,7 +23,7 @@ import (
 // Violation is one post-contingency branch overload.
 type Violation struct {
 	Branch  int     // overloaded branch (index into Network.Branches)
-	Flow    float64 // post-contingency DC flow, pu (signed, From->To)
+	Flow    float64 // post-contingency flow, pu (signed, From->To)
 	Rating  float64 // branch rating, pu
 	Loading float64 // |Flow| / Rating
 }
@@ -44,8 +48,9 @@ type Options struct {
 // in-service branch is rated at max(|base flow|·margin, floor). The IEEE
 // test cases carry no MVA ratings, so screening experiments derive them
 // from the operating point (margin 1.3 and floor 0.3 pu are typical
-// planning-study surrogates).
-func AutoRatings(n *grid.Network, st powerflow.State, margin, floor float64) ([]float64, error) {
+// planning-study surrogates). opts configures the base-case DC solve
+// (notably Workers for the CG kernels).
+func AutoRatings(n *grid.Network, st powerflow.State, margin, floor float64, opts Options) ([]float64, error) {
 	if margin <= 1 {
 		return nil, fmt.Errorf("contingency: rating margin %g must exceed 1", margin)
 	}
@@ -53,7 +58,7 @@ func AutoRatings(n *grid.Network, st powerflow.State, margin, floor float64) ([]
 	if err != nil {
 		return nil, err
 	}
-	theta, err := solveDC(n, p, -1, Options{})
+	theta, err := solveDC(n, p, -1, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,10 +77,15 @@ func AutoRatings(n *grid.Network, st powerflow.State, margin, floor float64) ([]
 	return ratings, nil
 }
 
-// Screen runs the N-1 sweep over every in-service branch. ratings has one
-// entry per branch (0 = unmonitored). The injections come from the
-// estimated (or true) state st.
-func Screen(n *grid.Network, st powerflow.State, ratings []float64, opts Options) ([]Result, error) {
+// Screen runs the N-1 sweep over every in-service branch, serially, in
+// ascending branch order. ratings has one entry per branch (0 =
+// unmonitored). The injections come from the estimated (or true) state st.
+//
+// Error contract (shared with ParallelScreen): on any failure no partial
+// results are returned — the error is the one for the lowest-indexed
+// failing outage. Cancellation is checked before every case; a canceled
+// context aborts the sweep with a wrapped ctx.Err().
+func Screen(ctx context.Context, n *grid.Network, st powerflow.State, ratings []float64, opts Options) ([]Result, error) {
 	if len(ratings) != len(n.Branches) {
 		return nil, fmt.Errorf("contingency: %d ratings for %d branches", len(ratings), len(n.Branches))
 	}
@@ -87,35 +97,45 @@ func Screen(n *grid.Network, st powerflow.State, ratings []float64, opts Options
 		return nil, err
 	}
 
+	chk := newIslandChecker(n)
 	var results []Result
 	for out, br := range n.Branches {
 		if !br.Status {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("contingency: screen canceled at outage %d: %w", out, err)
+		}
 		res := Result{Outage: out}
-		if islands(n, out) {
+		if chk.islands(out) {
 			res.Islanding = true
 			results = append(results, res)
 			continue
 		}
 		theta, err := solveDC(n, p, out, opts)
 		if err != nil {
-			return results, fmt.Errorf("contingency: outage %d: %w", out, err)
+			return nil, fmt.Errorf("contingency: outage %d: %w", out, err)
 		}
-		for bi, b2 := range n.Branches {
-			if !b2.Status || bi == out || ratings[bi] <= 0 {
-				continue
-			}
-			f := dcBranchFlow(n, theta, b2)
-			if loading := math.Abs(f) / ratings[bi]; loading >= opts.LoadingThreshold {
-				res.Violations = append(res.Violations, Violation{
-					Branch: bi, Flow: f, Rating: ratings[bi], Loading: loading,
-				})
-			}
-		}
+		res.Violations = dcViolations(n, theta, ratings, out, opts.LoadingThreshold)
 		results = append(results, res)
 	}
 	return results, nil
+}
+
+// dcViolations scans the post-contingency DC angles for overloaded
+// monitored branches (the outaged branch itself is never reported).
+func dcViolations(n *grid.Network, theta, ratings []float64, out int, threshold float64) []Violation {
+	var vs []Violation
+	for bi, br := range n.Branches {
+		if !br.Status || bi == out || ratings[bi] <= 0 {
+			continue
+		}
+		f := dcBranchFlow(n, theta, br)
+		if loading := math.Abs(f) / ratings[bi]; loading >= threshold {
+			vs = append(vs, Violation{Branch: bi, Flow: f, Rating: ratings[bi], Loading: loading})
+		}
+	}
+	return vs
 }
 
 // injectionsFromState computes net active injections (pu) from the AC
@@ -140,34 +160,67 @@ func injectionsFromState(n *grid.Network, st powerflow.State) ([]float64, error)
 // ErrIslanding reports that an outage disconnects the network.
 var ErrIslanding = errors.New("contingency: outage islands the network")
 
-// islands reports whether removing branch `out` disconnects the network.
-func islands(n *grid.Network, out int) bool {
-	nb := n.N()
-	adj := make([][]int, nb)
+// islandChecker answers "does removing branch b split its component?" for
+// one network. The adjacency is built once per screen and shared by every
+// case; the per-query BFS scratch is allocated per call so concurrent
+// workers can query the same checker.
+type islandChecker struct {
+	n   *grid.Network
+	adj [][]halfEdge
+}
+
+// halfEdge is one directed adjacency entry, tagged with its branch index so
+// a query can exclude the outaged branch (and only it — parallel circuits
+// between the same buses keep the endpoints connected).
+type halfEdge struct {
+	to     int
+	branch int
+}
+
+func newIslandChecker(n *grid.Network) *islandChecker {
+	adj := make([][]halfEdge, n.N())
 	for bi, br := range n.Branches {
-		if !br.Status || bi == out {
+		if !br.Status {
 			continue
 		}
 		f, t := n.MustIndex(br.From), n.MustIndex(br.To)
-		adj[f] = append(adj[f], t)
-		adj[t] = append(adj[t], f)
+		adj[f] = append(adj[f], halfEdge{to: t, branch: bi})
+		adj[t] = append(adj[t], halfEdge{to: f, branch: bi})
 	}
-	seen := make([]bool, nb)
-	stack := []int{0}
-	seen[0] = true
-	count := 1
+	return &islandChecker{n: n, adj: adj}
+}
+
+// islands reports whether removing branch out disconnects its endpoints.
+// Removing a single edge can only split the component containing it, and it
+// does so exactly when the edge's endpoints end up in different components
+// — so the check BFSes from one endpoint looking for the other, rather than
+// counting reachable buses from bus 0. The count-based check silently
+// assumed a connected base network: on a pre-split system (or one with an
+// isolated bus) it misreported every outage as islanding.
+func (c *islandChecker) islands(out int) bool {
+	br := c.n.Branches[out]
+	f, t := c.n.MustIndex(br.From), c.n.MustIndex(br.To)
+	if f == t {
+		return false
+	}
+	seen := make([]bool, c.n.N())
+	stack := []int{f}
+	seen[f] = true
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range adj[u] {
-			if !seen[v] {
-				seen[v] = true
-				count++
-				stack = append(stack, v)
+		for _, e := range c.adj[u] {
+			if e.branch == out || seen[e.to] {
+				continue
 			}
+			if e.to == t {
+				return false
+			}
+			seen[e.to] = true
+			stack = append(stack, e.to)
 		}
 	}
-	return count != nb
+	return true
 }
 
 // solveDC solves B'·θ = P with branch `out` removed (out < 0 keeps all),
@@ -236,6 +289,31 @@ func dcBranchFlow(n *grid.Network, theta []float64, br grid.Branch) float64 {
 	}
 	f, t := n.MustIndex(br.From), n.MustIndex(br.To)
 	return (theta[f] - theta[t]) / br.X
+}
+
+// acBranchFlow returns the from-side AC active-power flow on a branch (pu),
+// evaluated from a voltage state — the AC counterpart of dcBranchFlow used
+// by the what-if estimation screen. Same two-port model as the measurement
+// layer's Pflow evaluation.
+func acBranchFlow(n *grid.Network, st powerflow.State, br grid.Branch) float64 {
+	den := br.R*br.R + br.X*br.X
+	if den == 0 {
+		return 0
+	}
+	gs, bs := br.R/den, -br.X/den
+	tap := br.Tap
+	if tap == 0 {
+		tap = 1
+	}
+	c0, s0 := math.Cos(br.Shift), math.Sin(br.Shift)
+	gff := gs / (tap * tap)
+	gft := -(gs*c0 - bs*s0) / tap
+	bft := -(bs*c0 + gs*s0) / tap
+	f, t := n.MustIndex(br.From), n.MustIndex(br.To)
+	vf, vt := st.Vm[f], st.Vm[t]
+	th := st.Va[f] - st.Va[t]
+	c, s := math.Cos(th), math.Sin(th)
+	return vf*vf*gff + vf*vt*(gft*c+bft*s)
 }
 
 // Summary condenses a screen into counts: total cases, islanding cases and

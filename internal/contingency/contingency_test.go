@@ -1,6 +1,7 @@
 package contingency
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestDCFlowMatchesACRoughly(t *testing.T) {
 func TestAutoRatingsCoverBaseCase(t *testing.T) {
 	n := grid.Case118()
 	st := solved(t, n)
-	ratings, err := AutoRatings(n, st, 1.3, 0.3)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,19 +67,29 @@ func TestAutoRatingsCoverBaseCase(t *testing.T) {
 			t.Fatalf("base case violates its own rating on branch %d: %v > %v", bi, f, ratings[bi])
 		}
 	}
-	if _, err := AutoRatings(n, st, 0.9, 0.3); err == nil {
+	if _, err := AutoRatings(n, st, 0.9, 0.3, Options{}); err == nil {
 		t.Fatal("margin < 1 accepted")
+	}
+	// Workers plumbs through to the base-case DC solve.
+	r2, err := AutoRatings(n, st, 1.3, 0.3, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range ratings {
+		if math.Abs(ratings[bi]-r2[bi]) > 1e-9 {
+			t.Fatalf("branch %d rating differs with workers: %v vs %v", bi, ratings[bi], r2[bi])
+		}
 	}
 }
 
 func TestScreenIEEE118(t *testing.T) {
 	n := grid.Case118()
 	st := solved(t, n)
-	ratings, err := AutoRatings(n, st, 1.3, 0.3)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := Screen(n, st, ratings, Options{})
+	results, err := Screen(context.Background(), n, st, ratings, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +122,11 @@ func TestScreenIEEE118(t *testing.T) {
 func TestScreenGenerousRatingsAllSecure(t *testing.T) {
 	n := grid.Case14()
 	st := solved(t, n)
-	ratings, err := AutoRatings(n, st, 10, 5)
+	ratings, err := AutoRatings(n, st, 10, 5, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := Screen(n, st, ratings, Options{})
+	results, err := Screen(context.Background(), n, st, ratings, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,13 +139,32 @@ func TestScreenGenerousRatingsAllSecure(t *testing.T) {
 func TestScreenValidation(t *testing.T) {
 	n := grid.Case14()
 	st := solved(t, n)
-	if _, err := Screen(n, st, []float64{1}, Options{}); err == nil {
+	ctx := context.Background()
+	if _, err := Screen(ctx, n, st, []float64{1}, Options{}); err == nil {
 		t.Fatal("short ratings accepted")
 	}
 	bad := powerflow.State{Vm: []float64{1}, Va: []float64{0}}
 	ratings := make([]float64, len(n.Branches))
-	if _, err := Screen(n, bad, ratings, Options{}); err == nil {
+	if _, err := Screen(ctx, n, bad, ratings, Options{}); err == nil {
 		t.Fatal("mismatched state accepted")
+	}
+}
+
+func TestScreenCancellation(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	ratings, err := AutoRatings(n, st, 2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Screen(ctx, n, st, ratings, Options{})
+	if err == nil {
+		t.Fatal("pre-canceled context accepted")
+	}
+	if res != nil {
+		t.Fatal("partial results returned on cancellation")
 	}
 }
 
@@ -146,7 +176,70 @@ func TestIslandsDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !islands(n, 0) {
+	if !newIslandChecker(n).islands(0) {
 		t.Fatal("radial outage not flagged as islanding")
+	}
+}
+
+func TestIslandsParallelCircuits(t *testing.T) {
+	// Two buses joined by two parallel circuits: losing one is not an
+	// islanding event — the exclusion must be by branch index, not by
+	// endpoint pair.
+	buses := []grid.Bus{{ID: 1, Type: grid.Slack, Vm: 1}, {ID: 2, Type: grid.PQ, Vm: 1}}
+	branches := []grid.Branch{
+		{From: 1, To: 2, X: 0.1, Status: true},
+		{From: 1, To: 2, X: 0.2, Status: true},
+	}
+	n, err := grid.New("parallel", 100, buses, branches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := newIslandChecker(n)
+	if chk.islands(0) || chk.islands(1) {
+		t.Fatal("parallel-circuit outage misreported as islanding")
+	}
+}
+
+func TestIslandsDisconnectedBase(t *testing.T) {
+	// Regression: the old check BFSed from bus 0 and compared the reached
+	// count against the total bus count, silently assuming a connected base
+	// network. On a pre-split system every outage — including one on a
+	// looped, fully redundant component — was misreported as islanding.
+	buses := []grid.Bus{
+		// Component A: triangle 1-2-3 (bus 0 side).
+		{ID: 1, Type: grid.Slack, Vm: 1}, {ID: 2, Type: grid.PQ, Vm: 1}, {ID: 3, Type: grid.PQ, Vm: 1},
+		// Component B: triangle 4-5-6, disconnected from A.
+		{ID: 4, Type: grid.PQ, Vm: 1}, {ID: 5, Type: grid.PQ, Vm: 1}, {ID: 6, Type: grid.PQ, Vm: 1},
+	}
+	branches := []grid.Branch{
+		{From: 1, To: 2, X: 0.1, Status: true},
+		{From: 2, To: 3, X: 0.1, Status: true},
+		{From: 3, To: 1, X: 0.1, Status: true},
+		{From: 4, To: 5, X: 0.1, Status: true},
+		{From: 5, To: 6, X: 0.1, Status: true},
+		{From: 6, To: 4, X: 0.1, Status: true},
+		// A radial spur off component B: its outage does island.
+		{From: 6, To: 5, X: 0.1, Status: false}, // out of service, ignored
+	}
+	n, err := grid.New("split", 100, buses, branches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := newIslandChecker(n)
+	for out := 0; out < 6; out++ {
+		if chk.islands(out) {
+			t.Fatalf("loop outage %d on pre-split network misreported as islanding", out)
+		}
+	}
+}
+
+func TestACBranchFlowMatchesDCRoughly(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	// Branch 0 (1-2) carries ~1.5 pu AC; the AC evaluation from the solved
+	// state must land in the same range the model's Pflow telemetry would.
+	f := acBranchFlow(n, st, n.Branches[0])
+	if f < 1.0 || f > 2.0 {
+		t.Fatalf("AC flow on 1-2 = %v pu, expected ~1.5", f)
 	}
 }

@@ -1,6 +1,7 @@
 package contingency
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,18 +38,110 @@ type ParallelOptions struct {
 	Scheduling Scheduling
 }
 
+// schedule fans cases 0..nCases-1 out across workers under the selected
+// scheduling scheme, running `run` at most once per case. It implements the
+// deterministic error contract shared by every sweep entry point:
+//
+//   - Cancellation is checked before each case; a canceled context wins
+//     over case errors and is returned wrapped.
+//   - Otherwise, if any case failed, the returned error is the one for the
+//     lowest-numbered failing case — regardless of worker count or
+//     scheduling mode. Workers skip cases above the lowest failure seen so
+//     far (their results are discarded anyway), but every case below it
+//     still runs, so the winning error is deterministic whenever the
+//     per-case failures are.
+//
+// Both modes hand each worker an ascending sequence of case indices, which
+// is what lets a worker stop drawing cases (rather than merely skip) once
+// it reaches the failure watermark.
+func schedule(ctx context.Context, nCases, workers int, sched Scheduling, run func(k int) error) error {
+	if sched != StaticScheduling && sched != CounterScheduling {
+		return fmt.Errorf("contingency: unknown scheduling %d", sched)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nCases {
+		workers = nCases
+	}
+
+	errs := make([]error, nCases)
+	var minFail atomic.Int64 // lowest failing case index seen so far
+	minFail.Store(int64(nCases))
+	recordFail := func(k int) {
+		for {
+			cur := minFail.Load()
+			if int64(k) >= cur || minFail.CompareAndSwap(cur, int64(k)) {
+				return
+			}
+		}
+	}
+	// runCase executes case k and reports whether the worker should keep
+	// drawing cases.
+	runCase := func(k int) bool {
+		if ctx.Err() != nil || int64(k) >= minFail.Load() {
+			return false
+		}
+		if err := run(k); err != nil {
+			errs[k] = err
+			recordFail(k)
+			return false
+		}
+		return true
+	}
+
+	var wg sync.WaitGroup
+	switch sched {
+	case StaticScheduling:
+		for w := 0; w < workers; w++ {
+			lo := w * nCases / workers
+			hi := (w + 1) * nCases / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					if !runCase(k) {
+						return
+					}
+				}
+			}(lo, hi)
+		}
+	case CounterScheduling:
+		var counter atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(counter.Add(1)) - 1
+					if k >= nCases || !runCase(k) {
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("contingency: screen canceled: %w", err)
+	}
+	if k := int(minFail.Load()); k < nCases {
+		return errs[k]
+	}
+	return nil
+}
+
 // ParallelScreen runs the N-1 sweep across workers. Results are ordered by
-// outage branch index regardless of scheduling.
-func ParallelScreen(n *grid.Network, st powerflow.State, ratings []float64, opts ParallelOptions) ([]Result, error) {
+// outage branch index regardless of scheduling, and the error contract
+// matches Screen: no partial results, lowest-indexed failing outage wins
+// deterministically under both scheduling modes.
+func ParallelScreen(ctx context.Context, n *grid.Network, st powerflow.State, ratings []float64, opts ParallelOptions) ([]Result, error) {
 	if len(ratings) != len(n.Branches) {
 		return nil, fmt.Errorf("contingency: %d ratings for %d branches", len(ratings), len(n.Branches))
 	}
 	if opts.LoadingThreshold <= 0 {
 		opts.LoadingThreshold = 1.0
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	p, err := injectionsFromState(n, st)
 	if err != nil {
@@ -60,16 +153,13 @@ func ParallelScreen(n *grid.Network, st powerflow.State, ratings []float64, opts
 			cases = append(cases, bi)
 		}
 	}
-	if workers > len(cases) {
-		workers = len(cases)
-	}
 
 	results := make([]Result, len(cases))
-	errs := make([]error, workers)
-	runCase := func(k int) error {
+	chk := newIslandChecker(n)
+	err = schedule(ctx, len(cases), opts.Workers, opts.Scheduling, func(k int) error {
 		out := cases[k]
 		res := Result{Outage: out}
-		if islands(n, out) {
+		if chk.islands(out) {
 			res.Islanding = true
 			results[k] = res
 			return nil
@@ -78,71 +168,12 @@ func ParallelScreen(n *grid.Network, st powerflow.State, ratings []float64, opts
 		if err != nil {
 			return fmt.Errorf("contingency: outage %d: %w", out, err)
 		}
-		for bi, b2 := range n.Branches {
-			if !b2.Status || bi == out || ratings[bi] <= 0 {
-				continue
-			}
-			f := dcBranchFlow(n, theta, b2)
-			if loading := abs(f) / ratings[bi]; loading >= opts.LoadingThreshold {
-				res.Violations = append(res.Violations, Violation{
-					Branch: bi, Flow: f, Rating: ratings[bi], Loading: loading,
-				})
-			}
-		}
+		res.Violations = dcViolations(n, theta, ratings, out, opts.LoadingThreshold)
 		results[k] = res
 		return nil
-	}
-
-	var wg sync.WaitGroup
-	switch opts.Scheduling {
-	case StaticScheduling:
-		for w := 0; w < workers; w++ {
-			lo := w * len(cases) / workers
-			hi := (w + 1) * len(cases) / workers
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				for k := lo; k < hi; k++ {
-					if err := runCase(k); err != nil {
-						errs[w] = err
-						return
-					}
-				}
-			}(w, lo, hi)
-		}
-	case CounterScheduling:
-		var counter atomic.Int64
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for {
-					k := int(counter.Add(1)) - 1
-					if k >= len(cases) {
-						return
-					}
-					if err := runCase(k); err != nil {
-						errs[w] = err
-						return
-					}
-				}
-			}(w)
-		}
-	default:
-		return nil, fmt.Errorf("contingency: unknown scheduling %d", opts.Scheduling)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

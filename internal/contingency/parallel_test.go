@@ -1,6 +1,10 @@
 package contingency
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/grid"
@@ -9,16 +13,17 @@ import (
 func TestParallelScreenMatchesSerial(t *testing.T) {
 	n := grid.Case118()
 	st := solved(t, n)
-	ratings, err := AutoRatings(n, st, 1.3, 0.3)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Screen(n, st, ratings, Options{})
+	ctx := context.Background()
+	serial, err := Screen(ctx, n, st, ratings, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, sched := range []Scheduling{StaticScheduling, CounterScheduling} {
-		par, err := ParallelScreen(n, st, ratings, ParallelOptions{
+		par, err := ParallelScreen(ctx, n, st, ratings, ParallelOptions{
 			Workers: 4, Scheduling: sched,
 		})
 		if err != nil {
@@ -47,11 +52,11 @@ func TestParallelScreenMatchesSerial(t *testing.T) {
 func TestParallelScreenSingleWorker(t *testing.T) {
 	n := grid.Case14()
 	st := solved(t, n)
-	ratings, err := AutoRatings(n, st, 2, 1)
+	ratings, err := AutoRatings(n, st, 2, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ParallelScreen(n, st, ratings, ParallelOptions{Workers: 1, Scheduling: CounterScheduling})
+	res, err := ParallelScreen(context.Background(), n, st, ratings, ParallelOptions{Workers: 1, Scheduling: CounterScheduling})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,11 +68,125 @@ func TestParallelScreenSingleWorker(t *testing.T) {
 func TestParallelScreenValidation(t *testing.T) {
 	n := grid.Case14()
 	st := solved(t, n)
-	if _, err := ParallelScreen(n, st, []float64{1}, ParallelOptions{}); err == nil {
+	ctx := context.Background()
+	if _, err := ParallelScreen(ctx, n, st, []float64{1}, ParallelOptions{}); err == nil {
 		t.Fatal("short ratings accepted")
 	}
 	ratings := make([]float64, len(n.Branches))
-	if _, err := ParallelScreen(n, st, ratings, ParallelOptions{Scheduling: Scheduling(9)}); err == nil {
+	if _, err := ParallelScreen(ctx, n, st, ratings, ParallelOptions{Scheduling: Scheduling(9)}); err == nil {
 		t.Fatal("bad scheduling accepted")
+	}
+}
+
+func TestParallelScreenCancellation(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	ratings, err := AutoRatings(n, st, 2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ParallelScreen(ctx, n, st, ratings, ParallelOptions{Workers: 4})
+	if err == nil {
+		t.Fatal("pre-canceled context accepted")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("partial results returned on cancellation")
+	}
+}
+
+// TestScheduleDeterministicError drives the shared scheduler with injected
+// per-case failures and checks that, under both scheduling modes and any
+// worker count, the reported error is always the lowest failing case's —
+// not whichever worker happened to record its error last.
+func TestScheduleDeterministicError(t *testing.T) {
+	const nCases = 40
+	failAt := map[int]bool{7: true, 13: true, 31: true}
+	for _, sched := range []Scheduling{StaticScheduling, CounterScheduling} {
+		for _, workers := range []int{1, 3, 8} {
+			for rep := 0; rep < 25; rep++ {
+				var mu sync.Mutex
+				ran := make(map[int]bool)
+				err := schedule(context.Background(), nCases, workers, sched, func(k int) error {
+					mu.Lock()
+					ran[k] = true
+					mu.Unlock()
+					if failAt[k] {
+						return fmt.Errorf("case %d failed", k)
+					}
+					return nil
+				})
+				if err == nil || err.Error() != "case 7 failed" {
+					t.Fatalf("sched=%v workers=%d rep=%d: got error %v, want case 7's", sched, workers, rep, err)
+				}
+				// Every case below the lowest failure must have run, so the
+				// winner can never be preempted by an unseen earlier failure.
+				mu.Lock()
+				for k := 0; k < 7; k++ {
+					if !ran[k] {
+						t.Fatalf("sched=%v workers=%d: case %d below the failure watermark skipped", sched, workers, k)
+					}
+				}
+				mu.Unlock()
+			}
+		}
+	}
+}
+
+// TestScheduleMidSweepCancellation cancels the context from inside a case
+// and checks the sweep stops early and reports the cancellation, not a
+// case error.
+func TestScheduleMidSweepCancellation(t *testing.T) {
+	const nCases = 200
+	for _, sched := range []Scheduling{StaticScheduling, CounterScheduling} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		ran := 0
+		err := schedule(ctx, nCases, 4, sched, func(k int) error {
+			mu.Lock()
+			ran++
+			n := ran
+			mu.Unlock()
+			if n == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("sched=%v: got %v, want wrapped context.Canceled", sched, err)
+		}
+		mu.Lock()
+		if ran >= nCases {
+			t.Fatalf("sched=%v: all %d cases ran despite mid-sweep cancellation", sched, ran)
+		}
+		mu.Unlock()
+	}
+}
+
+// TestScheduleRunsEachCaseOnce checks the error-free path covers every case
+// exactly once under both modes.
+func TestScheduleRunsEachCaseOnce(t *testing.T) {
+	const nCases = 57
+	for _, sched := range []Scheduling{StaticScheduling, CounterScheduling} {
+		counts := make([]int, nCases)
+		var mu sync.Mutex
+		if err := schedule(context.Background(), nCases, 5, sched, func(k int) error {
+			mu.Lock()
+			counts[k]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatalf("sched=%v: %v", sched, err)
+		}
+		for k, c := range counts {
+			if c != 1 {
+				t.Fatalf("sched=%v: case %d ran %d times", sched, k, c)
+			}
+		}
 	}
 }

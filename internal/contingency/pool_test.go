@@ -1,0 +1,403 @@
+package contingency
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/wls"
+)
+
+// poolFrames simulates two telemetry frames (different noise draws, same
+// layout) from the solved state.
+func poolFrames(t *testing.T, n *grid.Network, plan []meas.Measurement) (f1, f2 []meas.Measurement) {
+	t.Helper()
+	st := solved(t, n)
+	var err error
+	if f1, err = meas.Simulate(n, plan, st, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f2, err = meas.Simulate(n, plan, st, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	return f1, f2
+}
+
+// TestPoolRescreenEquivalence is the tentpole acceptance test: re-screening
+// an unchanged contingency list on a second frame performs zero skeleton
+// constructions, produces estimates within 1e-9 of a cold per-outage sweep,
+// and spends fewer Gauss–Newton iterations than the cold sweep.
+func TestPoolRescreenEquivalence(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	plan := meas.FullPlan().Build(n)
+	frame1, frame2 := poolFrames(t, n, plan)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReusePrecond keeps the gain operator exact, so pooled estimates stay
+	// pinned to the cold path; the tight tolerance keeps the warm-started
+	// and flat-started fixed points within 1e-9 of each other.
+	wopts := wls.Options{Tol: 1e-9, GainReuse: wls.ReusePrecond}
+	popts := ParallelOptions{Workers: 3, Scheduling: CounterScheduling}
+	ctx := context.Background()
+
+	pool, err := NewPool(n, PoolOptions{WLS: wopts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, stats1, err := pool.Screen(ctx, frame1, ratings, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Estimated == 0 || stats1.Islanding == 0 {
+		t.Fatalf("unexpected first sweep: %+v", stats1)
+	}
+	if stats1.SkeletonBuilds != stats1.Estimated {
+		t.Fatalf("first sweep built %d skeletons for %d estimated cases", stats1.SkeletonBuilds, stats1.Estimated)
+	}
+
+	res2, stats2, err := pool.Screen(ctx, frame2, ratings, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.SkeletonBuilds != 0 {
+		t.Fatalf("re-screen performed %d skeleton builds, want 0", stats2.SkeletonBuilds)
+	}
+	if stats2.WarmStarts != stats2.Estimated {
+		t.Errorf("re-screen warm-started %d of %d cases", stats2.WarmStarts, stats2.Estimated)
+	}
+
+	cold, err := NewPool(n, PoolOptions{WLS: wopts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC, statsC, err := cold.Screen(ctx, frame2, ratings, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.GNIterations >= statsC.GNIterations {
+		t.Errorf("pooled re-screen used %d GN iterations, cold sweep %d — warm starts saved nothing",
+			stats2.GNIterations, statsC.GNIterations)
+	}
+	if len(res2) != len(resC) || len(res2) != len(res1) {
+		t.Fatalf("case counts differ: %d vs %d", len(res2), len(resC))
+	}
+	for i := range res2 {
+		w, c := res2[i], resC[i]
+		if w.Outage != c.Outage || w.Islanding != c.Islanding {
+			t.Fatalf("case %d differs structurally", i)
+		}
+		if w.Islanding {
+			continue
+		}
+		for b := range w.Estimate.State.Vm {
+			if d := math.Abs(w.Estimate.State.Vm[b] - c.Estimate.State.Vm[b]); d > 1e-9 {
+				t.Fatalf("case %d bus %d Vm differs by %g", i, b, d)
+			}
+			if d := math.Abs(w.Estimate.State.Va[b] - c.Estimate.State.Va[b]); d > 1e-9 {
+				t.Fatalf("case %d bus %d Va differs by %g", i, b, d)
+			}
+		}
+		if len(w.Violations) != len(c.Violations) {
+			t.Fatalf("case %d violation count differs: %d vs %d", i, len(w.Violations), len(c.Violations))
+		}
+	}
+}
+
+// TestPoolGainReuseDefault checks the pool resolves ReuseAuto to the
+// tracking tier: a quiescent re-screen skips gain refreshes.
+func TestPoolGainReuseDefault(t *testing.T) {
+	n := grid.Case14()
+	plan := meas.FullPlan().Build(n)
+	frame1, frame2 := poolFrames(t, n, plan)
+	pool, err := NewPool(n, PoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	popts := ParallelOptions{Workers: 2}
+	if _, _, err := pool.Screen(ctx, frame1, nil, nil, popts); err != nil {
+		t.Fatal(err)
+	}
+	_, stats2, err := pool.Screen(ctx, frame2, nil, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.GainSkips == 0 {
+		t.Errorf("re-screen skipped no gain refreshes under the default reuse tier: %+v", stats2)
+	}
+}
+
+// TestPoolIslandingMatchesDC checks the pool's islanding verdicts agree
+// with the DC screen's.
+func TestPoolIslandingMatchesDC(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	plan := meas.FullPlan().Build(n)
+	frame1, _ := poolFrames(t, n, plan)
+	ratings, err := AutoRatings(n, st, 2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dc, err := ParallelScreen(ctx, n, st, ratings, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(n, PoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _, err := pool.Screen(ctx, frame1, ratings, nil, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != len(dc) {
+		t.Fatalf("%d pooled cases vs %d DC cases", len(est), len(dc))
+	}
+	for i := range est {
+		if est[i].Outage != dc[i].Outage || est[i].Islanding != dc[i].Islanding {
+			t.Fatalf("case %d: pooled %+v vs DC %+v", i, est[i].Result, dc[i])
+		}
+		if est[i].Islanding && est[i].Estimate != nil {
+			t.Fatalf("case %d: islanding case carries an estimate", i)
+		}
+	}
+}
+
+// TestPoolTopologyInvalidation mutates the base topology between sweeps and
+// checks every entry is dropped and rebuilt.
+func TestPoolTopologyInvalidation(t *testing.T) {
+	n := grid.Case14()
+	pool, err := NewPool(n, PoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	plan := meas.FullPlan().Build(n)
+	frame1, _ := poolFrames(t, n, plan)
+	_, stats1, err := pool.Screen(ctx, frame1, nil, nil, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.SkeletonBuilds == 0 {
+		t.Fatal("first sweep built nothing")
+	}
+
+	// Take a looped branch out of service: the topology signature changes,
+	// the case list shrinks, and the telemetry layout follows the new grid.
+	out := -1
+	chk := newIslandChecker(n)
+	for bi, br := range n.Branches {
+		if br.Status && !chk.islands(bi) {
+			out = bi
+			break
+		}
+	}
+	n.Branches[out].Status = false
+	plan2 := meas.FullPlan().Build(n)
+	st2 := solved(t, n)
+	frame2, err := meas.Simulate(n, plan2, st2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats2, err := pool.Screen(ctx, frame2, nil, nil, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.SkeletonBuilds != stats2.Estimated {
+		t.Fatalf("topology change rebuilt %d of %d entries", stats2.SkeletonBuilds, stats2.Estimated)
+	}
+}
+
+// TestPoolCaseListPruning checks entries leaving the requested case list
+// are dropped (and rebuilt when they return).
+func TestPoolCaseListPruning(t *testing.T) {
+	n := grid.Case14()
+	plan := meas.FullPlan().Build(n)
+	frame1, frame2 := poolFrames(t, n, plan)
+	chk := newIslandChecker(n)
+	var cases []int
+	for bi, br := range n.Branches {
+		if br.Status && !chk.islands(bi) {
+			cases = append(cases, bi)
+		}
+		if len(cases) == 2 {
+			break
+		}
+	}
+	pool, err := NewPool(n, PoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, s1, err := pool.Screen(ctx, frame1, nil, cases, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.SkeletonBuilds != 2 {
+		t.Fatalf("built %d entries for 2 cases", s1.SkeletonBuilds)
+	}
+	if _, s2, err := pool.Screen(ctx, frame2, nil, cases[:1], ParallelOptions{}); err != nil {
+		t.Fatal(err)
+	} else if s2.SkeletonBuilds != 0 {
+		t.Fatalf("narrowed sweep rebuilt %d entries", s2.SkeletonBuilds)
+	}
+	// The pruned outage must rebuild when it returns.
+	if _, s3, err := pool.Screen(ctx, frame1, nil, cases, ParallelOptions{}); err != nil {
+		t.Fatal(err)
+	} else if s3.SkeletonBuilds != 1 {
+		t.Fatalf("returning outage rebuilt %d entries, want 1", s3.SkeletonBuilds)
+	}
+}
+
+// TestPoolDeterministicError checks the pool inherits schedule()'s error
+// contract: with every case failing (unobservable frame), the reported
+// error is always the first requested case's, under both scheduling modes.
+func TestPoolDeterministicError(t *testing.T) {
+	n := grid.Case14()
+	st := solved(t, n)
+	// Voltage magnitudes alone leave every angle unobservable.
+	var plan []meas.Measurement
+	for _, b := range n.Buses {
+		plan = append(plan, meas.Measurement{Kind: meas.Vmag, Bus: b.ID, Sigma: 0.004})
+	}
+	frame, err := meas.Simulate(n, plan, st, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := newIslandChecker(n)
+	var cases []int
+	for bi, br := range n.Branches {
+		if br.Status && !chk.islands(bi) {
+			cases = append(cases, bi)
+		}
+	}
+	for _, sched := range []Scheduling{StaticScheduling, CounterScheduling} {
+		for rep := 0; rep < 5; rep++ {
+			pool, err := NewPool(n, PoolOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := pool.Screen(context.Background(), frame, nil, cases, ParallelOptions{Workers: 4, Scheduling: sched})
+			if err == nil {
+				t.Fatalf("sched=%v: unobservable sweep succeeded", sched)
+			}
+			if res != nil {
+				t.Fatalf("sched=%v: partial results returned with error", sched)
+			}
+			if !errors.Is(err, wls.ErrUnobservable) {
+				t.Fatalf("sched=%v: error %v does not wrap ErrUnobservable", sched, err)
+			}
+			want := "outage " + strconv.Itoa(cases[0])
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("sched=%v rep=%d: error %q is not the first case's (%s)", sched, rep, err, want)
+			}
+		}
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	n := grid.Case14()
+	plan := meas.FullPlan().Build(n)
+	frame1, _ := poolFrames(t, n, plan)
+	pool, err := NewPool(n, PoolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := pool.Screen(ctx, frame1, []float64{1}, nil, ParallelOptions{}); err == nil {
+		t.Fatal("short ratings accepted")
+	}
+	if _, _, err := pool.Screen(ctx, frame1, nil, []int{len(n.Branches)}, ParallelOptions{}); err == nil {
+		t.Fatal("out-of-range outage accepted")
+	}
+	if _, _, err := pool.Screen(ctx, frame1, nil, []int{0, 0}, ParallelOptions{}); err == nil {
+		t.Fatal("duplicate outage accepted")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	res, _, err := pool.Screen(canceled, frame1, nil, nil, ParallelOptions{})
+	if err == nil || res != nil {
+		t.Fatal("pre-canceled context accepted")
+	}
+	// Decomposition over a different network is rejected at construction.
+	n2 := grid.Case14()
+	dec, err := core.Decompose(n2, 2, core.DecomposeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPool(n, PoolOptions{Decomposition: dec}); err == nil {
+		t.Fatal("foreign decomposition accepted")
+	}
+}
+
+// TestPoolDistributed runs the decomposition-backed pool: each outage gets
+// a perturbed decomposition and tracker, and the second frame performs zero
+// subproblem constructions.
+func TestPoolDistributed(t *testing.T) {
+	n := grid.Case118()
+	dec, err := core.Decompose(n, 4, core.DecomposeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PMUs everywhere: connectivity repair can move reference buses on
+	// perturbed decompositions, so every bus must carry an angle.
+	plan := meas.PlanOptions{VoltageAt: 1, InjectionsAt: 1, FlowsAt: 1, PMUAt: 1, Sigmas: meas.DefaultSigmas()}.Build(n)
+	frame1, frame2 := poolFrames(t, n, plan)
+
+	chk := newIslandChecker(n)
+	var cases []int
+	for bi, br := range n.Branches {
+		if br.Status && !chk.islands(bi) {
+			cases = append(cases, bi)
+		}
+		if len(cases) == 3 {
+			break
+		}
+	}
+	pool, err := NewPool(n, PoolOptions{Decomposition: dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res1, stats1, err := pool.Screen(ctx, frame1, nil, cases, ParallelOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.SkeletonBuilds == 0 {
+		t.Fatal("first distributed sweep built nothing")
+	}
+	for i, ce := range res1 {
+		if ce.DSE == nil || ce.Estimate != nil {
+			t.Fatalf("case %d: want DSE result only, got %+v", i, ce)
+		}
+	}
+	res2, stats2, err := pool.Screen(ctx, frame2, nil, cases, ParallelOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.SkeletonBuilds != 0 {
+		t.Fatalf("distributed re-screen performed %d skeleton builds, want 0", stats2.SkeletonBuilds)
+	}
+	if stats2.WarmStarts != len(cases) {
+		t.Errorf("re-screen warm-started %d of %d cases", stats2.WarmStarts, len(cases))
+	}
+	// The estimate should track the true state closely on the full plan.
+	truth := solved(t, n)
+	for i, ce := range res2 {
+		for b := range truth.Vm {
+			if math.Abs(ce.DSE.State.Vm[b]-truth.Vm[b]) > 0.05 {
+				t.Fatalf("case %d bus %d Vm off by > 0.05", i, b)
+			}
+		}
+	}
+}

@@ -80,6 +80,19 @@ func (c *DSECache) sessionFor(d *Decomposition, opts DSEOptions) (*Session, func
 	return lockOrClone(s, d, opts)
 }
 
+// SkeletonBuilds reports the pinned session's cumulative skeleton-build
+// count (zero when no session has been created yet). See
+// Session.SkeletonBuilds.
+func (c *DSECache) SkeletonBuilds() int {
+	c.mu.Lock()
+	s := c.s
+	c.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return s.SkeletonBuilds()
+}
+
 // StepStats reports one DSE phase.
 type StepStats struct {
 	Duration time.Duration

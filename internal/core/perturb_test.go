@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/meas"
+	"repro/internal/powerflow"
+)
+
+func TestPerturbBranch(t *testing.T) {
+	n := grid.Case118()
+	d, err := Decompose(n, 4, DecomposeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a looped branch (non-islanding outage) and a radial one.
+	loop, radial := -1, -1
+	for bi, br := range n.Branches {
+		if !br.Status {
+			continue
+		}
+		c := n.Clone()
+		c.Branches[bi].Status = false
+		if c.Connected() {
+			if loop < 0 {
+				loop = bi
+			}
+		} else if radial < 0 {
+			radial = bi
+		}
+		if loop >= 0 && radial >= 0 {
+			break
+		}
+	}
+
+	pd, err := d.PerturbBranch(loop, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Net == n {
+		t.Fatal("perturbed decomposition shares the base network")
+	}
+	if pd.Net.Branches[loop].Status {
+		t.Fatal("outaged branch still in service on the perturbed network")
+	}
+	if n.Branches[loop].Status == false {
+		t.Fatal("base network mutated by PerturbBranch")
+	}
+	if len(pd.Subsystems) != len(d.Subsystems) {
+		t.Fatalf("perturbed decomposition has %d subsystems, base %d", len(pd.Subsystems), len(d.Subsystems))
+	}
+	owned := 0
+	for _, s := range pd.Subsystems {
+		owned += len(s.Buses)
+	}
+	if owned != n.N() {
+		t.Fatalf("perturbed decomposition covers %d of %d buses", owned, n.N())
+	}
+
+	if _, err := d.PerturbBranch(radial, 0); err == nil {
+		t.Fatal("islanding outage accepted")
+	}
+	if _, err := d.PerturbBranch(-1, 0); err == nil {
+		t.Fatal("negative branch accepted")
+	}
+	if _, err := d.PerturbBranch(len(n.Branches), 0); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+	off := -1
+	for bi, br := range n.Branches {
+		if !br.Status {
+			off = bi
+			break
+		}
+	}
+	if off >= 0 {
+		if _, err := d.PerturbBranch(off, 0); err == nil {
+			t.Fatal("already-out branch accepted")
+		}
+	}
+}
+
+// TestTrackerSkeletonBuildCounter checks the session's build counter: the
+// first tracked frame pays every skeleton construction, a second frame with
+// the same layout pays none.
+func TestTrackerSkeletonBuildCounter(t *testing.T) {
+	n := grid.Case118()
+	d, err := Decompose(n, 4, DecomposeOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := meas.FullPlan().Build(n)
+	plan = append(plan, PMUPlanFor(d, plan, 0)...)
+	frame1, err := meas.Simulate(n, plan, pf.State, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2, err := meas.Simulate(n, plan, pf.State, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trk := NewTracker(d, DSEOptions{})
+	if trk.SkeletonBuilds() != 0 {
+		t.Fatalf("fresh tracker reports %d builds", trk.SkeletonBuilds())
+	}
+	if _, err := trk.Process(frame1); err != nil {
+		t.Fatal(err)
+	}
+	b1 := trk.SkeletonBuilds()
+	if b1 == 0 {
+		t.Fatal("first frame built no skeletons")
+	}
+	if _, err := trk.Process(frame2); err != nil {
+		t.Fatal(err)
+	}
+	if b2 := trk.SkeletonBuilds(); b2 != b1 {
+		t.Fatalf("second frame performed %d skeleton builds, want 0", b2-b1)
+	}
+	trk.Reset()
+	if trk.SkeletonBuilds() != 0 {
+		t.Fatalf("reset tracker reports %d builds", trk.SkeletonBuilds())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/grid"
 	"repro/internal/meas"
@@ -42,6 +43,11 @@ type Session struct {
 
 	subs     []subSession
 	boundary *boundarySession
+
+	// builds counts skeleton constructions (Step-1/Step-2 subproblems and
+	// the boundary system, each with its fresh engine). Atomic because
+	// subsystems build concurrently within a run.
+	builds atomic.Int64
 }
 
 // subSession is one subsystem's slot: skeletons, engines, and the Step-2
@@ -141,6 +147,7 @@ func (s *Session) step1(si int, global []meas.Measurement) (*Subproblem, *wls.En
 		}
 	}
 	sl.step1, sl.eng1 = sp, wls.NewEngine(sp.Model)
+	s.builds.Add(1)
 	return sp, sl.eng1, nil
 }
 
@@ -161,8 +168,18 @@ func (s *Session) step2(si int, global []meas.Measurement, incoming []PseudoPack
 	}
 	sl.step2, sl.eng2 = sp, wls.NewEngine(sp.Model)
 	sl.warm2, sl.haveWarm2 = nil, false // state layout may have shifted
+	s.builds.Add(1)
 	return sp, sl.eng2, nil
 }
+
+// SkeletonBuilds reports the cumulative number of skeleton constructions
+// (Step-1/Step-2 subproblem builds and boundary-system builds, each paired
+// with a fresh engine and its symbolic plans) this session has performed.
+// Steady-state value-refresh frames leave the counter unchanged — it is how
+// tests and the contingency pool verify that a re-run paid zero symbolic
+// cost. Safe to read between runs; reads concurrent with a run see a
+// momentary value.
+func (s *Session) SkeletonBuilds() int { return int(s.builds.Load()) }
 
 // step2Start returns the warm-start vector for subsystem si's next Step-2
 // solve, or nil for a flat start. Valid only after step2 for this frame.
@@ -254,6 +271,7 @@ func (s *Session) refineBoundary(ctx context.Context, global []meas.Measurement,
 			return err
 		}
 		s.boundary = b
+		s.builds.Add(1)
 	}
 	if b.haveWarm && len(b.warm) == b.mod.NState() && wlsOpts.X0 == nil {
 		wlsOpts.X0 = b.warm

@@ -73,6 +73,21 @@ func (t *Tracker) Step(ctx context.Context, frame []meas.Measurement) (*DSEResul
 	return res, nil
 }
 
+// SkeletonBuilds reports how many skeleton constructions (subproblems,
+// boundary systems, engines with their symbolic plans) the tracker's pinned
+// session has performed since the tracker was created or last Reset. A
+// steady tracked frame adds zero; callers sample the counter around a Step
+// to verify a frame was value-refresh only.
+func (t *Tracker) SkeletonBuilds() int {
+	if t.Opts.Cache != nil {
+		return t.Opts.Cache.SkeletonBuilds()
+	}
+	if t.cache == nil {
+		return 0
+	}
+	return t.cache.SkeletonBuilds()
+}
+
 // Reset drops the warm-start state and the session — skeletons, engines,
 // and warm carries together (after a topology change, for example, all of
 // them describe a layout that no longer exists).

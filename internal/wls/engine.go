@@ -138,6 +138,19 @@ func NewEngine(mod *meas.Model) *Engine {
 // stay bit-identical; tracking operation never needs it.
 func (e *Engine) ResetReuse() { e.reuse.valid = false }
 
+// ColdStart drops every numeric carry the engine keeps across solves — the
+// drift-gated reuse anchor and the cached preconditioner numerics — so the
+// next solve runs the full refresh path exactly as a freshly constructed
+// engine would, while keeping all symbolic plans. Session pools call it
+// when re-anchoring a pooled what-if engine (contingency.Pool.ResetAnchors);
+// for a single-solve reset of the reuse tier alone, ResetReuse suffices.
+func (e *Engine) ColdStart() {
+	e.reuse.valid = false
+	e.havePre = false
+	e.pre = nil
+	e.havePrevDx = false
+}
+
 // Model returns the model the engine is currently bound to.
 func (e *Engine) Model() *meas.Model { return e.mod }
 
