@@ -7,6 +7,7 @@ package gridse_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -809,6 +810,104 @@ func BenchmarkContingencyPool118(b *testing.B) {
 			}
 			if total > 0 {
 				b.ReportMetric(float64(skips)/float64(total), "gain-skip-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkContingencyPoolBatch118 measures the batched multi-RHS sweep
+// against the scalar pooled sweep on warm IEEE-118 re-screens: the batch
+// axis sets how many outage cases share one lockstep gain solve (1 =
+// scalar path). batch-frac reports the fraction of estimated cases that
+// completed inside a batch.
+func BenchmarkContingencyPoolBatch118(b *testing.B) {
+	n := grid.Case118()
+	pf, err := powerflow.Solve(n, powerflow.Options{FlatStart: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := meas.FullPlan().Build(n)
+	frames := make([][]meas.Measurement, 2)
+	for i := range frames {
+		if frames[i], err = meas.Simulate(n, plan, pf.State, 1, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ratings, err := contingency.AutoRatings(n, pf.State, 1.3, 0.3, contingency.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	popts := contingency.ParallelOptions{Workers: 4, Scheduling: contingency.CounterScheduling}
+	for _, batch := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			pool, err := contingency.NewPool(n, contingency.PoolOptions{Batch: batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Two priming sweeps: the first builds skeletons, the second
+			// seeds warm starts inside the batch anchor gate.
+			for _, f := range frames {
+				if _, _, err := pool.Screen(ctx, f, ratings, nil, popts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			skips, total, batched, estimated := 0, 0, 0, 0
+			for i := 0; i < b.N; i++ {
+				_, stats, err := pool.Screen(ctx, frames[i%2], ratings, nil, popts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.SkeletonBuilds != 0 {
+					b.Fatalf("warm sweep rebuilt %d skeletons", stats.SkeletonBuilds)
+				}
+				skips += stats.GainSkips
+				total += stats.GainSkips + stats.GainRefreshes
+				batched += stats.BatchedCases
+				estimated += stats.Estimated
+			}
+			if total > 0 {
+				b.ReportMetric(float64(skips)/float64(total), "gain-skip-frac")
+			}
+			if estimated > 0 {
+				b.ReportMetric(float64(batched)/float64(estimated), "batch-frac")
+			}
+		})
+	}
+}
+
+// BenchmarkGainMulMultiVec118 isolates the batched mat-vec kernel the
+// multi-RHS CG is built on: one pass over the IEEE-118 gain nonzeros
+// applied to K interleaved columns versus K separate scalar passes.
+func BenchmarkGainMulMultiVec118(b *testing.B) {
+	fx := benchFixture(b)
+	ref := fx.Net.SlackIndex()
+	mod, err := meas.NewModel(fx.Net, fx.Meas, ref, fx.Truth.Va[ref])
+	if err != nil {
+		b.Fatal(err)
+	}
+	hj := mod.Jacobian(mod.FlatVec())
+	gp := sparse.NewGainPlan(hj)
+	g := gp.Refresh(hj, mod.Weights())
+	n := g.Rows
+	for _, k := range []int{4, 8, 16} {
+		x := make([]float64, n*k)
+		y := make([]float64, n*k)
+		for i := range x {
+			x[i] = 1 + float64(i%7)
+		}
+		b.Run(fmt.Sprintf("scalar-x%d", k), func(b *testing.B) {
+			xs, ys := x[:n], y[:n]
+			for i := 0; i < b.N; i++ {
+				for c := 0; c < k; c++ {
+					g.MulVec(ys, xs)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("multi-x%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.MulMultiVec(y, x, k)
 			}
 		})
 	}

@@ -36,6 +36,16 @@ type PoolOptions struct {
 	// SensitivityRadius is the boundary-sensitivity radius for perturbed
 	// decompositions (0 selects 1, matching DecomposeOptions).
 	SensitivityRadius int
+	// Batch, when ≥ 2, groups up to Batch non-islanding cases per batched
+	// multi-RHS gain solve (wls.BatchEngine): the sweep anchors a shared
+	// base-topology gain operator once per frame and each batch runs all
+	// its lagged Gauss–Newton steps through one pass over the operator's
+	// nonzeros, with per-case sparse delta patches for the outage. Cases
+	// the batch cannot serve (structure mismatch, drift past the anchor
+	// gate, guard trips) fall back to the ordinary scalar path with
+	// identical results. 0 or 1 keeps every case scalar; Decomposition mode
+	// and an explicit WLS.X0 ignore the knob.
+	Batch int
 }
 
 // CaseEstimate is one what-if estimation case: the screening verdict plus
@@ -80,6 +90,33 @@ type SweepStats struct {
 	GainSkips      int
 	PrecondSkips   int
 	ReuseFallbacks int
+	// BatchedCases and BatchFallbacks split the estimated cases of a
+	// batched sweep (PoolOptions.Batch ≥ 2) by whether the case completed
+	// inside a batched multi-RHS solve or fell back to the scalar path;
+	// Reanchors counts sweeps that re-anchored the shared base gain
+	// operator (the first batched sweep always does). All three stay zero
+	// on scalar sweeps.
+	BatchedCases   int
+	BatchFallbacks int
+	Reanchors      int
+}
+
+// add accumulates o into st.
+func (st *SweepStats) add(o SweepStats) {
+	st.Cases += o.Cases
+	st.Islanding += o.Islanding
+	st.Estimated += o.Estimated
+	st.SkeletonBuilds += o.SkeletonBuilds
+	st.WarmStarts += o.WarmStarts
+	st.GNIterations += o.GNIterations
+	st.CGIterations += o.CGIterations
+	st.GainRefreshes += o.GainRefreshes
+	st.GainSkips += o.GainSkips
+	st.PrecondSkips += o.PrecondSkips
+	st.ReuseFallbacks += o.ReuseFallbacks
+	st.BatchedCases += o.BatchedCases
+	st.BatchFallbacks += o.BatchFallbacks
+	st.Reanchors += o.Reanchors
 }
 
 // Pool is a session pool for what-if re-screening: per outage it caches the
@@ -109,6 +146,14 @@ type Pool struct {
 	// entries maps outage branch index -> cached per-contingency session.
 	entries map[int]*caseSession
 	builds  int // cumulative skeleton builds over the pool's lifetime
+
+	// Batched-sweep state (PoolOptions.Batch ≥ 2): the base-topology
+	// session the shared gain operator anchors on, the batch engine over
+	// it, and the frame-index → base-measurement-index inverse of its keep
+	// mapping (rebuilt per sweep, read-only during one).
+	baseSess    *caseSession
+	batch       *wls.BatchEngine
+	frameToBase []int32
 }
 
 // caseSession is one outage's cached stack. During a sweep each case is
@@ -127,6 +172,10 @@ type caseSession struct {
 	scratch  []meas.Measurement
 	warm     []float64
 	haveWarm bool
+	// bc carries the case's batched-solve state (delta-patch cache) across
+	// sweeps; measMap is its case → base measurement mapping scratch.
+	bc      *wls.BatchCase
+	measMap []int32
 
 	// Distributed mode.
 	dec *core.Decomposition
@@ -156,11 +205,13 @@ func (p *Pool) SkeletonBuilds() int {
 	return p.builds
 }
 
-// Reset drops every cached entry. The next sweep rebuilds from scratch.
+// Reset drops every cached entry, including the batched sweep's base
+// session and anchor. The next sweep rebuilds from scratch.
 func (p *Pool) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.entries = make(map[int]*caseSession)
+	p.baseSess, p.batch = nil, nil
 }
 
 // ResetAnchors keeps the skeletons but drops every numeric carry — warm
@@ -179,6 +230,12 @@ func (p *Pool) ResetAnchors() {
 		if e.trk != nil {
 			e.trk.Reset()
 		}
+	}
+	if p.baseSess != nil {
+		p.baseSess.eng.ColdStart()
+	}
+	if p.batch != nil {
+		p.batch.InvalidateAnchor()
 	}
 }
 
@@ -228,6 +285,18 @@ func (p *Pool) Screen(ctx context.Context, frame []meas.Measurement, ratings []f
 
 	p.invalidate(cases)
 
+	if p.opts.Batch >= 2 && p.opts.Decomposition == nil && p.opts.WLS.X0 == nil {
+		if results, stats, ok, err := p.screenBatched(ctx, frame, ratings, cases, opts, threshold); ok {
+			return results, stats, err
+		}
+		// Batched path unavailable (unsupported solve configuration or the
+		// base anchor estimate failed): the scalar sweep decides the frame.
+	}
+	return p.screenScalar(ctx, frame, ratings, cases, opts, threshold)
+}
+
+// screenScalar is the ordinary one-case-per-solve sweep body.
+func (p *Pool) screenScalar(ctx context.Context, frame []meas.Measurement, ratings []float64, cases []int, opts ParallelOptions, threshold float64) ([]CaseEstimate, SweepStats, error) {
 	results := make([]CaseEstimate, len(cases))
 	perCase := make([]SweepStats, len(cases))
 	chk := newIslandChecker(p.base)
@@ -258,22 +327,223 @@ func (p *Pool) Screen(ctx context.Context, frame []meas.Measurement, ratings []f
 
 	var stats SweepStats
 	for _, st := range perCase {
-		stats.Cases += st.Cases
-		stats.Islanding += st.Islanding
-		stats.Estimated += st.Estimated
-		stats.SkeletonBuilds += st.SkeletonBuilds
-		stats.WarmStarts += st.WarmStarts
-		stats.GNIterations += st.GNIterations
-		stats.CGIterations += st.CGIterations
-		stats.GainRefreshes += st.GainRefreshes
-		stats.GainSkips += st.GainSkips
-		stats.PrecondSkips += st.PrecondSkips
-		stats.ReuseFallbacks += st.ReuseFallbacks
+		stats.add(st)
 	}
 	p.mu.Lock()
 	p.builds += stats.SkeletonBuilds
 	p.mu.Unlock()
 	return results, stats, nil
+}
+
+// batchWLSOptions resolves the per-case WLS options of a batched sweep:
+// the tracking reuse tier by default and the standard warm-start gate (the
+// gate is inert for cases without a warm start, so setting it up front
+// matches the scalar path's per-case logic exactly).
+func (p *Pool) batchWLSOptions() wls.Options {
+	wopts := p.opts.WLS
+	if wopts.GainReuse == wls.ReuseAuto {
+		wopts.GainReuse = wls.ReuseGain
+	}
+	if wopts.X0Gate == 0 {
+		wopts.X0Gate = wls.WarmStartGate
+	}
+	return wopts
+}
+
+// screenBatched is the batched sweep body: one shared-anchor preparation,
+// then units of up to Batch cases scheduled across workers, each unit
+// solved by one lockstep multi-RHS gain solve (scalar fallback per case
+// inside wls.BatchEngine). ok = false reports the batched path cannot run
+// this sweep and no case was attempted.
+func (p *Pool) screenBatched(ctx context.Context, frame []meas.Measurement, ratings []float64, cases []int, opts ParallelOptions, threshold float64) ([]CaseEstimate, SweepStats, bool, error) {
+	wopts := p.batchWLSOptions()
+	var prep SweepStats
+	if !p.ensureBase(frame, &prep) {
+		return nil, SweepStats{}, false, nil
+	}
+	if !p.batch.Supported(wopts) {
+		return nil, SweepStats{}, false, nil
+	}
+	// Serial pre-sweep anchor: the base-topology estimate for this frame,
+	// re-anchoring the shared gain operator when the operating point moved.
+	// Its own solver work is sweep overhead, not a case, so only Reanchors
+	// records it in the stats.
+	if _, reanchored, err := p.batch.EnsureAnchor(ctx, wopts); err != nil {
+		if ctx.Err() != nil {
+			return nil, SweepStats{}, true, fmt.Errorf("contingency: screen canceled: %w", ctx.Err())
+		}
+		return nil, SweepStats{}, false, nil
+	} else if reanchored {
+		prep.Reanchors = 1
+	}
+	// Invert the base keep mapping: frame index → base measurement index.
+	if cap(p.frameToBase) < len(frame) {
+		p.frameToBase = make([]int32, len(frame))
+	}
+	p.frameToBase = p.frameToBase[:len(frame)]
+	for i := range p.frameToBase {
+		p.frameToBase[i] = -1
+	}
+	for bi, fi := range p.baseSess.keep {
+		p.frameToBase[fi] = int32(bi)
+	}
+
+	width := p.opts.Batch
+	units := (len(cases) + width - 1) / width
+	results := make([]CaseEstimate, len(cases))
+	perCase := make([]SweepStats, len(cases))
+	chk := newIslandChecker(p.base)
+	err := schedule(ctx, units, opts.Workers, opts.Scheduling, func(u int) error {
+		lo, hi := u*width, (u+1)*width
+		if hi > len(cases) {
+			hi = len(cases)
+		}
+		bcs := make([]*wls.BatchCase, 0, hi-lo)
+		sess := make([]*caseSession, 0, hi-lo)
+		idxs := make([]int, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("contingency: screen canceled: %w", err)
+			}
+			out := cases[k]
+			ce := CaseEstimate{Result: Result{Outage: out}}
+			st := &perCase[k]
+			st.Cases = 1
+			if chk.islands(out) {
+				ce.Islanding = true
+				st.Islanding = 1
+				results[k] = ce
+				continue
+			}
+			e, err := p.ensureCase(out, frame, st)
+			if err != nil {
+				return fmt.Errorf("contingency: outage %d: %w", out, err)
+			}
+			results[k] = ce
+			bcs = append(bcs, p.prepareBatchCase(e, st))
+			sess = append(sess, e)
+			idxs = append(idxs, k)
+		}
+		if len(bcs) == 0 {
+			return nil
+		}
+		p.batch.SolveBatch(ctx, bcs, wopts)
+		for i, bc := range bcs {
+			k := idxs[i]
+			if bc.Err != nil {
+				return fmt.Errorf("contingency: outage %d: %w", cases[k], bc.Err)
+			}
+			e := sess[i]
+			e.warm, e.haveWarm = bc.Res.X, true
+			st := &perCase[k]
+			st.Estimated = 1
+			if bc.Fallback {
+				st.BatchFallbacks = 1
+			} else {
+				st.BatchedCases = 1
+			}
+			st.GNIterations += bc.Res.Iterations
+			st.CGIterations += bc.Res.CGIterations
+			st.GainRefreshes += bc.Res.GainRefreshes
+			st.GainSkips += bc.Res.GainSkips
+			st.PrecondSkips += bc.Res.PrecondSkips
+			st.ReuseFallbacks += bc.Res.ReuseFallbacks
+			results[k].Estimate = bc.Res
+			if ratings != nil {
+				results[k].Violations = p.acViolations(cases[k], estimatedState(&results[k]), ratings, threshold)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, SweepStats{}, true, err
+	}
+
+	stats := prep
+	for _, st := range perCase {
+		stats.add(st)
+	}
+	p.mu.Lock()
+	p.builds += stats.SkeletonBuilds
+	p.mu.Unlock()
+	return results, stats, true, nil
+}
+
+// ensureBase builds or value-refreshes the base-topology session the
+// batched sweep anchors on, (re)creating the batch engine when the session
+// was rebuilt. It reports false when the base model cannot be built for
+// this frame.
+func (p *Pool) ensureBase(frame []meas.Measurement, st *SweepStats) bool {
+	if p.baseSess != nil && !p.baseSess.refreshCentralized(frame) {
+		p.baseSess, p.batch = nil, nil // frame layout drift: rebuild
+	}
+	if p.baseSess == nil {
+		e := &caseSession{outage: -1, net: p.base}
+		e.rebuildKeep(frame)
+		ms := append([]meas.Measurement(nil), e.scratch...)
+		ref := p.base.SlackIndex()
+		mod, err := meas.NewModel(p.base, ms, ref, refAngleFrom(ms, p.base.Buses[ref].ID))
+		if err != nil {
+			return false
+		}
+		e.mod, e.eng = mod, wls.NewEngine(mod)
+		p.baseSess = e
+		st.SkeletonBuilds++
+	}
+	if p.batch == nil {
+		p.batch = wls.NewBatchEngine(p.baseSess.eng)
+	}
+	return true
+}
+
+// ensureCase returns the outage's session, built or value-refreshed for
+// this frame — the session half of runCentralized.
+func (p *Pool) ensureCase(out int, frame []meas.Measurement, st *SweepStats) (*caseSession, error) {
+	e := p.sessionFor(out)
+	if e != nil && !e.refreshCentralized(frame) {
+		e = nil // layout drift: rebuild below
+	}
+	if e == nil {
+		var err error
+		if e, err = p.buildCentralized(out, frame); err != nil {
+			return nil, err
+		}
+		st.SkeletonBuilds++
+		p.mu.Lock()
+		p.entries[out] = e
+		p.mu.Unlock()
+	}
+	return e, nil
+}
+
+// sessionFor returns the cached session for an outage, nil if absent.
+func (p *Pool) sessionFor(out int) *caseSession {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.entries[out]
+}
+
+// prepareBatchCase assembles the session's wls.BatchCase for this sweep:
+// the case → base measurement mapping through the frame indices, and the
+// previous sweep's warm start.
+func (p *Pool) prepareBatchCase(e *caseSession, st *SweepStats) *wls.BatchCase {
+	if e.bc == nil {
+		e.bc = &wls.BatchCase{Eng: e.eng}
+	}
+	if cap(e.measMap) < len(e.keep) {
+		e.measMap = make([]int32, len(e.keep))
+	}
+	e.measMap = e.measMap[:len(e.keep)]
+	for ci, fi := range e.keep {
+		e.measMap[ci] = p.frameToBase[fi]
+	}
+	e.bc.MeasMap = e.measMap
+	e.bc.X0 = nil
+	if e.haveWarm && len(e.warm) == e.mod.NState() {
+		e.bc.X0 = e.warm
+		st.WarmStarts = 1
+	}
+	return e.bc
 }
 
 // invalidate applies the pool's two invalidation rules before a sweep:
@@ -284,6 +554,7 @@ func (p *Pool) invalidate(cases []int) {
 	defer p.mu.Unlock()
 	if !sameTopology(p.base, p.sig) {
 		p.entries = make(map[int]*caseSession)
+		p.baseSess, p.batch = nil, nil
 		p.sig = p.base.Clone()
 		return
 	}
@@ -308,22 +579,13 @@ func (p *Pool) runCase(ctx context.Context, out int, frame []meas.Measurement, c
 	if p.opts.Decomposition != nil {
 		return p.runDistributed(ctx, out, e, frame, ce, st)
 	}
-	return p.runCentralized(ctx, out, e, frame, ce, st)
+	return p.runCentralized(ctx, out, frame, ce, st)
 }
 
-func (p *Pool) runCentralized(ctx context.Context, out int, e *caseSession, frame []meas.Measurement, ce *CaseEstimate, st *SweepStats) error {
-	if e != nil && !e.refreshCentralized(frame) {
-		e = nil // layout drift: rebuild below
-	}
-	if e == nil {
-		var err error
-		if e, err = p.buildCentralized(out, frame); err != nil {
-			return err
-		}
-		st.SkeletonBuilds++
-		p.mu.Lock()
-		p.entries[out] = e
-		p.mu.Unlock()
+func (p *Pool) runCentralized(ctx context.Context, out int, frame []meas.Measurement, ce *CaseEstimate, st *SweepStats) error {
+	e, err := p.ensureCase(out, frame, st)
+	if err != nil {
+		return err
 	}
 
 	wopts := p.opts.WLS

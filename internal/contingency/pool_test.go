@@ -401,3 +401,97 @@ func TestPoolDistributed(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolBatchedEquivalence: a batched pool (Batch >= 2) reproduces the
+// scalar pool's estimates within 1e-9 on every case of a full IEEE-118
+// sweep, falls back cleanly on the cold first frame (no warm starts inside
+// the anchor gate yet), and actually serves cases batched on the warm
+// re-screen with zero skeleton builds.
+func TestPoolBatchedEquivalence(t *testing.T) {
+	n := grid.Case118()
+	st := solved(t, n)
+	plan := meas.FullPlan().Build(n)
+	frame1, frame2 := poolFrames(t, n, plan)
+	ratings, err := AutoRatings(n, st, 1.3, 0.3, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tol 1e-9 lands both paths well within the 1e-9 comparison bound of
+	// the exact minimizer (see TestBatchEngineMatchesScalar).
+	wopts := wls.Options{Tol: 1e-9}
+	popts := ParallelOptions{Workers: 4, Scheduling: CounterScheduling}
+	ctx := context.Background()
+
+	scalar, err := NewPool(n, PoolOptions{WLS: wopts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewPool(n, PoolOptions{WLS: wopts, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compare := func(tag string, a, b []CaseEstimate) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d scalar cases vs %d batched", tag, len(a), len(b))
+		}
+		for i := range a {
+			s, g := a[i], b[i]
+			if s.Outage != g.Outage || s.Islanding != g.Islanding {
+				t.Fatalf("%s case %d differs structurally", tag, i)
+			}
+			if s.Islanding {
+				continue
+			}
+			for bus := range s.Estimate.State.Vm {
+				if d := math.Abs(s.Estimate.State.Vm[bus] - g.Estimate.State.Vm[bus]); d > 1e-9 {
+					t.Fatalf("%s case %d bus %d Vm differs by %g", tag, i, bus, d)
+				}
+				if d := math.Abs(s.Estimate.State.Va[bus] - g.Estimate.State.Va[bus]); d > 1e-9 {
+					t.Fatalf("%s case %d bus %d Va differs by %g", tag, i, bus, d)
+				}
+			}
+			if len(s.Violations) != len(g.Violations) {
+				t.Fatalf("%s case %d violation count differs: %d vs %d", tag, i, len(s.Violations), len(g.Violations))
+			}
+		}
+	}
+
+	resS1, _, err := scalar.Screen(ctx, frame1, ratings, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB1, statsB1, err := batched.Screen(ctx, frame1, ratings, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare("frame1", resS1, resB1)
+	if statsB1.Reanchors != 1 {
+		t.Fatalf("first batched sweep re-anchored %d times, want 1", statsB1.Reanchors)
+	}
+	if statsB1.BatchedCases+statsB1.BatchFallbacks != statsB1.Estimated {
+		t.Fatalf("batched/fallback split %d+%d does not cover %d estimated cases",
+			statsB1.BatchedCases, statsB1.BatchFallbacks, statsB1.Estimated)
+	}
+
+	resS2, _, err := scalar.Screen(ctx, frame2, ratings, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB2, statsB2, err := batched.Screen(ctx, frame2, ratings, nil, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compare("frame2", resS2, resB2)
+	if statsB2.SkeletonBuilds != 0 {
+		t.Fatalf("batched re-screen performed %d skeleton builds, want 0", statsB2.SkeletonBuilds)
+	}
+	if statsB2.WarmStarts != statsB2.Estimated {
+		t.Errorf("batched re-screen warm-started %d of %d cases", statsB2.WarmStarts, statsB2.Estimated)
+	}
+	if statsB2.BatchedCases == 0 {
+		t.Fatalf("warm batched re-screen served no case batched: %+v", statsB2)
+	}
+	t.Logf("re-screen: %d/%d batched (%d fallbacks)", statsB2.BatchedCases, statsB2.Estimated, statsB2.BatchFallbacks)
+}

@@ -1,0 +1,434 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchCGOptions controls the batched multi-RHS conjugate-gradient solver.
+type BatchCGOptions struct {
+	// Tol is the per-column relative residual tolerance (default 1e-10).
+	Tol float64
+	// MaxIter bounds the iteration count of every column. Zero selects
+	// 4·n, at least 64 — the scalar CG default.
+	MaxIter int
+	// Precond is the batched preconditioner; nil selects identity. Scalar
+	// preconditioners shared across columns satisfy the interface via
+	// their ApplyBatch methods.
+	Precond BatchPreconditioner
+	// Deltas, when non-nil, has length k and adds ΔG_c·x_c to column c of
+	// every operator application: the effective per-column operator is
+	// A + ΔG_c while the expensive pass over A's nonzeros is shared by
+	// the whole batch. Nil entries mean no correction for that column.
+	Deltas []*GainDelta
+	// Workers is the goroutine count for the parallel mat-vec
+	// (0 = GOMAXPROCS, 1 forces serial). Ignored when Pool is set.
+	Workers int
+	// Pool, when non-nil, runs the batched mat-vec on the persistent
+	// worker pool with a cached nnz-balanced partition.
+	Pool *Pool
+	// X0 is an optional column-interleaved initial guess (length n·k).
+	// Each column passes the scalar warm-start gate independently:
+	// a column's guess is kept only when its squared residual is at most
+	// warmStartGate times the zero start's, so warm starting a column
+	// either clearly helps or leaves it exactly cold-started.
+	X0 []float64
+	// Work, when non-nil, supplies the iteration storage so repeated
+	// batched solves allocate nothing. BatchCGResult.X aliases Work.
+	Work *BatchCGWorkspace
+}
+
+// BatchCGColumn reports how one column of a batched solve went. Err is nil
+// on convergence, ErrNotSPD on a non-positive curvature pap ≤ 0 (that
+// column only), or ErrCGDiverged at the iteration cap; other columns are
+// unaffected.
+type BatchCGColumn struct {
+	Iterations int
+	Residual   float64
+	Converged  bool
+	Err        error
+}
+
+// BatchCGResult reports a batched solve: X is the column-interleaved
+// solution block (aliasing the workspace) and Cols the per-column outcome.
+type BatchCGResult struct {
+	X    []float64
+	Cols []BatchCGColumn
+}
+
+// BatchCGWorkspace holds the iteration storage of a batched CG solve for
+// reuse. The zero value is usable; buffers grow on demand and are retained.
+type BatchCGWorkspace struct {
+	x, r, z, p, ap []float64 // n·k column-interleaved iteration blocks
+	rr, rz, bnorm  []float64 // k per-column reduction state
+	alpha, scr     []float64
+	active         []bool
+	actIdx         []int
+	cols           []BatchCGColumn
+
+	// Cached nnz-balanced partition for the pooled mat-vec, keyed on the
+	// operator identity and part count exactly like CGWorkspace.
+	mvBounds []int
+	mvOp     Operator
+	mvParts  int
+}
+
+// NewBatchCGWorkspace returns a workspace pre-sized for n-dimensional
+// systems with k columns.
+func NewBatchCGWorkspace(n, k int) *BatchCGWorkspace {
+	w := &BatchCGWorkspace{}
+	w.resize(n, k)
+	return w
+}
+
+func (w *BatchCGWorkspace) resize(n, k int) {
+	nk := n * k
+	w.x = grow(w.x, nk)
+	w.r = grow(w.r, nk)
+	w.z = grow(w.z, nk)
+	w.p = grow(w.p, nk)
+	w.ap = grow(w.ap, nk)
+	w.rr = grow(w.rr, k)
+	w.rz = grow(w.rz, k)
+	w.bnorm = grow(w.bnorm, k)
+	w.alpha = grow(w.alpha, k)
+	w.scr = grow(w.scr, k)
+	if cap(w.active) < k {
+		w.active = make([]bool, k)
+	}
+	w.active = w.active[:k]
+	if cap(w.actIdx) < k {
+		w.actIdx = make([]int, 0, k)
+	}
+	w.actIdx = w.actIdx[:0]
+	if cap(w.cols) < k {
+		w.cols = make([]BatchCGColumn, k)
+	}
+	w.cols = w.cols[:k]
+	for c := range w.cols {
+		w.cols[c] = BatchCGColumn{}
+	}
+}
+
+func (w *BatchCGWorkspace) partition(a Operator, parts int) []int {
+	if w.mvOp == a && w.mvParts == parts && len(w.mvBounds) == parts+1 {
+		return w.mvBounds
+	}
+	if cap(w.mvBounds) < parts+1 {
+		w.mvBounds = make([]int, parts+1)
+	}
+	w.mvBounds = w.mvBounds[:parts+1]
+	a.partitionRows(w.mvBounds, parts)
+	w.mvOp = a
+	w.mvParts = parts
+	return w.mvBounds
+}
+
+// rebuildActive refreshes the compacted active-column index list after a
+// column drains — "converged columns drop out of the dot-product
+// reductions", while the shared mat-vec keeps full width.
+func (w *BatchCGWorkspace) rebuildActive() {
+	w.actIdx = w.actIdx[:0]
+	for c, on := range w.active {
+		if on {
+			w.actIdx = append(w.actIdx, c)
+		}
+	}
+}
+
+// BatchCG solves K systems (A + ΔG_c)·x_c = b_c simultaneously with
+// preconditioned CG over column-interleaved vectors. The matrix pass —
+// the dominant memory traffic — runs at full batch width once per
+// iteration; all per-column reductions and vector updates run only over
+// still-active columns, and a column that converges, hits pap ≤ 0, or
+// exhausts MaxIter drains without disturbing the others. Per column the
+// iteration replays the scalar CG recurrence in the same floating-point
+// order, so each column matches an independent scalar solve on its own
+// operator bit for bit (modulo the operator evaluation itself when a delta
+// is attached, whose merged-sum order differs from a materialized matrix).
+//
+// The batch runs in the operator's own index space: no CGOptions.Perm
+// analog — permuted plans need per-case scalar solves.
+func BatchCG(a MultiOperator, b []float64, k int, opts BatchCGOptions) (BatchCGResult, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return BatchCGResult{}, fmt.Errorf("sparse: BatchCG requires square matrix, got %dx%d", rows, cols)
+	}
+	n := rows
+	if k < 1 {
+		return BatchCGResult{}, fmt.Errorf("sparse: BatchCG batch width %d", k)
+	}
+	if len(b) != n*k {
+		return BatchCGResult{}, fmt.Errorf("sparse: BatchCG rhs length %d != %d·%d", len(b), n, k)
+	}
+	if opts.Deltas != nil && len(opts.Deltas) != k {
+		return BatchCGResult{}, fmt.Errorf("sparse: BatchCG %d deltas for batch width %d", len(opts.Deltas), k)
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 4 * n
+		if maxIter < 64 {
+			maxIter = 64
+		}
+	}
+	var pre BatchPreconditioner = IdentityPreconditioner{}
+	if opts.Precond != nil {
+		pre = opts.Precond
+	}
+	work := opts.Work
+	if work == nil {
+		work = &BatchCGWorkspace{}
+	}
+	work.resize(n, k)
+
+	var base func(y, x []float64)
+	if opts.Pool != nil {
+		parts := opts.Pool.Workers()
+		if parts > n {
+			parts = n
+		}
+		if parts > 1 && a.NNZ()*k >= parallelNNZThreshold {
+			pool, bounds := opts.Pool, work.partition(a, parts)
+			base = func(y, x []float64) { a.mulMultiVecRanges(y, x, k, pool, bounds) }
+		} else {
+			base = func(y, x []float64) { a.MulMultiVec(y, x, k) }
+		}
+	} else {
+		workers := opts.Workers
+		base = func(y, x []float64) { a.MulMultiVecParallel(y, x, k, workers) }
+	}
+	mulVec := base
+	if opts.Deltas != nil {
+		mulVec = func(y, x []float64) {
+			base(y, x)
+			for c, d := range opts.Deltas {
+				if d != nil {
+					d.ApplyColumn(y, x, k, c)
+				}
+			}
+		}
+	}
+
+	x, r, z, p, ap := work.x, work.r, work.z, work.p, work.ap
+	rr, rz, bnorm := work.rr, work.rz, work.bnorm
+	alpha, scr := work.alpha, work.scr
+	active, res := work.active, work.cols
+
+	for i := range x {
+		x[i] = 0
+	}
+	copy(r, b)
+	// One fused pass computes every column's ‖b‖² in the scalar
+	// accumulation order (Dot then Sqrt, matching Norm2).
+	for c := 0; c < k; c++ {
+		rr[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		bi := b[i*k : (i+1)*k : (i+1)*k]
+		for c := range bi {
+			rr[c] += bi[c] * bi[c]
+		}
+	}
+	for c := 0; c < k; c++ {
+		bnorm[c] = math.Sqrt(rr[c])
+		active[c] = bnorm[c] != 0
+		if !active[c] {
+			res[c].Converged = true // zero rhs: x_c = 0 exactly
+		}
+	}
+	work.rebuildActive()
+
+	if opts.X0 != nil && len(work.actIdx) > 0 {
+		if len(opts.X0) != n*k {
+			return BatchCGResult{}, fmt.Errorf("sparse: BatchCG x0 length %d != %d·%d", len(opts.X0), n, k)
+		}
+		copy(x, opts.X0)
+		// Drained (zero-rhs) columns keep the exact zero solution.
+		for c := 0; c < k; c++ {
+			if !active[c] {
+				for i := 0; i < n; i++ {
+					x[i*k+c] = 0
+				}
+			}
+		}
+		mulVec(ap, x)
+		warm := scr
+		for c := 0; c < k; c++ {
+			warm[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			off := i * k
+			for _, c := range work.actIdx {
+				ri := b[off+c] - ap[off+c]
+				r[off+c] = ri
+				warm[c] += ri * ri
+			}
+		}
+		for _, c := range work.actIdx {
+			if warm[c] <= warmStartGate*rr[c] {
+				rr[c] = warm[c]
+			} else {
+				// Not clearly better than the zero vector — cold start
+				// this column, exactly as scalar CG would.
+				for i := 0; i < n; i++ {
+					x[i*k+c] = 0
+					r[i*k+c] = b[i*k+c]
+				}
+			}
+		}
+	}
+
+	pre.ApplyBatch(z, r, k)
+	copy(p, z)
+	for c := 0; c < k; c++ {
+		rz[c] = 0
+	}
+	for i := 0; i < n; i++ {
+		off := i * k
+		for _, c := range work.actIdx {
+			rz[c] += r[off+c] * z[off+c]
+		}
+	}
+
+	for kIter := 0; kIter < maxIter; kIter++ {
+		drained := false
+		for _, c := range work.actIdx {
+			res[c].Residual = math.Sqrt(rr[c]) / bnorm[c]
+			res[c].Iterations = kIter
+			if res[c].Residual <= tol {
+				res[c].Converged = true
+				active[c] = false
+				drained = true
+			}
+		}
+		if drained {
+			work.rebuildActive()
+		}
+		if len(work.actIdx) == 0 {
+			break
+		}
+		mulVec(ap, p)
+		allActive := len(work.actIdx) == k
+		pap := scr
+		for _, c := range work.actIdx {
+			pap[c] = 0
+		}
+		if allActive {
+			// Full-width rounds (the common case before any column drains)
+			// run contiguous bounds-check-free passes; per-column arithmetic
+			// order is identical to the indexed path below.
+			for i := 0; i < n; i++ {
+				off := i * k
+				pi, api := p[off:off+k:off+k], ap[off:off+k:off+k]
+				for c := range pi {
+					pap[c] += pi[c] * api[c]
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				off := i * k
+				for _, c := range work.actIdx {
+					pap[c] += p[off+c] * ap[off+c]
+				}
+			}
+		}
+		drained = false
+		for _, c := range work.actIdx {
+			if pap[c] <= 0 {
+				res[c].Err = ErrNotSPD
+				active[c] = false
+				drained = true
+				continue
+			}
+			alpha[c] = rz[c] / pap[c]
+		}
+		if drained {
+			work.rebuildActive()
+			if len(work.actIdx) == 0 {
+				break
+			}
+			allActive = false
+		}
+		for _, c := range work.actIdx {
+			rr[c] = 0
+		}
+		if allActive {
+			for i := 0; i < n; i++ {
+				off := i * k
+				xi, ri, pi, api := x[off:off+k:off+k], r[off:off+k:off+k], p[off:off+k:off+k], ap[off:off+k:off+k]
+				for c := range pi {
+					xi[c] += alpha[c] * pi[c]
+					rc := ri[c] - alpha[c]*api[c]
+					ri[c] = rc
+					rr[c] += rc * rc
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				off := i * k
+				for _, c := range work.actIdx {
+					x[off+c] += alpha[c] * p[off+c]
+					ri := r[off+c] - alpha[c]*ap[off+c]
+					r[off+c] = ri
+					rr[c] += ri * ri
+				}
+			}
+		}
+		pre.ApplyBatch(z, r, k)
+		for _, c := range work.actIdx {
+			scr[c] = 0
+		}
+		if allActive {
+			for i := 0; i < n; i++ {
+				off := i * k
+				ri, zi := r[off:off+k:off+k], z[off:off+k:off+k]
+				for c := range ri {
+					scr[c] += ri[c] * zi[c]
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				off := i * k
+				for _, c := range work.actIdx {
+					scr[c] += r[off+c] * z[off+c]
+				}
+			}
+		}
+		for _, c := range work.actIdx {
+			beta := scr[c] / rz[c]
+			rz[c] = scr[c]
+			alpha[c] = beta // reuse as the p-update coefficient
+		}
+		if allActive {
+			for i := 0; i < n; i++ {
+				off := i * k
+				pi, zi := p[off:off+k:off+k], z[off:off+k:off+k]
+				for c := range pi {
+					pi[c] = zi[c] + alpha[c]*pi[c]
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				off := i * k
+				for _, c := range work.actIdx {
+					p[off+c] = z[off+c] + alpha[c]*p[off+c]
+				}
+			}
+		}
+	}
+	for _, c := range work.actIdx {
+		res[c].Iterations = maxIter
+		res[c].Residual = math.Sqrt(rr[c]) / bnorm[c]
+		res[c].Converged = res[c].Residual <= tol
+		if !res[c].Converged {
+			res[c].Err = ErrCGDiverged
+		}
+		active[c] = false
+	}
+	work.rebuildActive()
+	return BatchCGResult{X: x, Cols: res}, nil
+}

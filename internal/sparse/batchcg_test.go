@@ -1,0 +1,367 @@
+package sparse
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// deltaOp is the scalar reference operator for a batch column: the shared
+// base matrix plus one case's delta, applied in exactly the order the
+// batched mat-vec applies them. Running scalar CG against it must replay a
+// BatchCG column bit for bit.
+type deltaOp struct {
+	base *CSR
+	d    *GainDelta
+}
+
+func (o deltaOp) Dims() (int, int) { return o.base.Dims() }
+func (o deltaOp) NNZ() int         { return o.base.NNZ() }
+func (o deltaOp) MulVec(y, x []float64) {
+	o.base.MulVec(y, x)
+	if o.d != nil {
+		o.d.Apply(y, x)
+	}
+}
+func (o deltaOp) MulVecParallel(y, x []float64, workers int) {
+	o.base.MulVecParallel(y, x, workers)
+	if o.d != nil {
+		o.d.Apply(y, x)
+	}
+}
+func (o deltaOp) partitionRows(bounds []int, parts int) { o.base.partitionRows(bounds, parts) }
+func (o deltaOp) mulVecRanges(y, x []float64, p *Pool, bounds []int) {
+	o.base.mulVecRanges(y, x, p, bounds)
+	if o.d != nil {
+		o.d.Apply(y, x)
+	}
+}
+
+// diagJacobi builds a scalar Jacobi preconditioner from a raw diagonal
+// vector by wrapping it in a diagonal CSR.
+func diagJacobi(t *testing.T, diag []float64) *JacobiPreconditioner {
+	t.Helper()
+	coo := NewCOO(len(diag), len(diag))
+	for i, v := range diag {
+		coo.Add(i, i, v)
+	}
+	p, err := NewJacobi(coo.ToCSR())
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
+	return p
+}
+
+// TestBatchCGMatchesScalarBitwise runs K plain columns (no deltas, shared
+// Jacobi) against independent scalar CG solves: identical solutions,
+// iteration counts, and convergence flags, including a warm-started column
+// that converges almost immediately and a zero-rhs column.
+func TestBatchCGMatchesScalarBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := 40
+	a := randomSPD(rng, n)
+	pre, err := NewJacobi(a)
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
+	const k = 4
+	cols := randomCols(rng, n, k)
+	for i := range cols[2] {
+		cols[2][i] = 0 // zero-rhs column: must converge instantly with x=0
+	}
+	b := interleave(cols)
+
+	// Warm-start column 1 with its (separately solved) near-exact solution.
+	exact, err := CG(a, cols[1], CGOptions{Tol: 1e-13, Precond: pre, Workers: 1})
+	if err != nil {
+		t.Fatalf("pre-solve: %v", err)
+	}
+	x0cols := make([][]float64, k)
+	for c := range x0cols {
+		x0cols[c] = make([]float64, n)
+	}
+	copy(x0cols[1], exact.X)
+	x0 := interleave(x0cols)
+
+	res, err := BatchCG(a, b, k, BatchCGOptions{Tol: 1e-11, Precond: pre, Workers: 1, X0: x0})
+	if err != nil {
+		t.Fatalf("BatchCG: %v", err)
+	}
+	for c := 0; c < k; c++ {
+		var sres CGResult
+		var serr error
+		opts := CGOptions{Tol: 1e-11, Precond: pre, Workers: 1}
+		if c == 1 {
+			opts.X0 = x0cols[1]
+		}
+		sres, serr = CG(a, cols[c], opts)
+		if serr != nil {
+			t.Fatalf("scalar CG col %d: %v", c, serr)
+		}
+		bc := res.Cols[c]
+		if bc.Err != nil || !bc.Converged {
+			t.Fatalf("col %d: err=%v converged=%v", c, bc.Err, bc.Converged)
+		}
+		if bc.Iterations != sres.Iterations {
+			t.Fatalf("col %d iterations %d vs scalar %d", c, bc.Iterations, sres.Iterations)
+		}
+		for i := 0; i < n; i++ {
+			if res.X[i*k+c] != sres.X[i] {
+				t.Fatalf("col %d x[%d] = %v, scalar %v", c, i, res.X[i*k+c], sres.X[i])
+			}
+		}
+	}
+	if res.Cols[1].Iterations > 1 {
+		t.Fatalf("warm-started column took %d iterations", res.Cols[1].Iterations)
+	}
+	if res.Cols[2].Iterations != 0 {
+		t.Fatalf("zero-rhs column took %d iterations", res.Cols[2].Iterations)
+	}
+}
+
+// TestBatchCGDeltaColumnsMatchScalar runs K outage-style columns — shared
+// base gain plus per-case delta patches and per-column Jacobi diagonals —
+// against scalar CG on the equivalent per-case operator. One column's
+// MaxIter-capped twin checks the divergence bookkeeping too.
+func TestBatchCGDeltaColumnsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	nState := 30
+	h, w1 := outageFixture(rng, nState, 45)
+	h1 := CopyVec(h.Val)
+	plan := NewGainPlan(h)
+	gBase := plan.Refresh(h, w1).Clone()
+	baseDiag := make([]float64, nState)
+	gBase.DiagonalInto(baseDiag)
+
+	const k = 3
+	deltas := make([]*GainDelta, k)
+	bj := NewBatchJacobi(nState, k)
+	scalarPre := make([]*JacobiPreconditioner, k)
+	caseRows := [][]int{
+		{nState + 2, nState + 3},
+		nil, // a column riding on the pure base operator
+		{4, nState + 10, nState + 11},
+	}
+	for c, rows := range caseRows {
+		diag := CopyVec(baseDiag)
+		if rows != nil {
+			h2, w2 := perturbRows(rng, h, h1, w1, rows)
+			deltas[c] = plan.DeltaScatter(rows)
+			deltas[c].Refresh(h1, w1, h2, w2)
+			deltas[c].AddDiag(diag)
+		}
+		if err := bj.SetColumn(c, diag); err != nil {
+			t.Fatalf("SetColumn %d: %v", c, err)
+		}
+		scalarPre[c] = diagJacobi(t, diag)
+	}
+
+	cols := randomCols(rng, nState, k)
+	b := interleave(cols)
+	res, err := BatchCG(gBase, b, k, BatchCGOptions{Tol: 1e-12, Precond: bj, Deltas: deltas, Workers: 1})
+	if err != nil {
+		t.Fatalf("BatchCG: %v", err)
+	}
+	for c := 0; c < k; c++ {
+		sres, serr := CG(deltaOp{base: gBase, d: deltas[c]}, cols[c],
+			CGOptions{Tol: 1e-12, Precond: scalarPre[c], Workers: 1})
+		if serr != nil {
+			t.Fatalf("scalar CG col %d: %v", c, serr)
+		}
+		bc := res.Cols[c]
+		if bc.Err != nil || !bc.Converged || bc.Iterations != sres.Iterations {
+			t.Fatalf("col %d: err=%v converged=%v iters=%d (scalar %d)", c, bc.Err, bc.Converged, bc.Iterations, sres.Iterations)
+		}
+		for i := 0; i < nState; i++ {
+			if res.X[i*k+c] != sres.X[i] {
+				t.Fatalf("col %d x[%d] = %v, scalar %v", c, i, res.X[i*k+c], sres.X[i])
+			}
+		}
+	}
+
+	// Capped run: every column must stop at MaxIter with the scalar
+	// iterate, residual, and ErrCGDiverged bookkeeping.
+	capped, err := BatchCG(gBase, b, k, BatchCGOptions{Tol: 1e-12, MaxIter: 3, Precond: bj, Deltas: deltas, Workers: 1})
+	if err != nil {
+		t.Fatalf("BatchCG capped: %v", err)
+	}
+	for c := 0; c < k; c++ {
+		sres, serr := CG(deltaOp{base: gBase, d: deltas[c]}, cols[c],
+			CGOptions{Tol: 1e-12, MaxIter: 3, Precond: scalarPre[c], Workers: 1})
+		if !errors.Is(serr, ErrCGDiverged) {
+			t.Fatalf("scalar capped col %d err = %v", c, serr)
+		}
+		bc := capped.Cols[c]
+		if !errors.Is(bc.Err, ErrCGDiverged) || bc.Converged || bc.Iterations != 3 {
+			t.Fatalf("capped col %d: err=%v converged=%v iters=%d", c, bc.Err, bc.Converged, bc.Iterations)
+		}
+		if bc.Residual != sres.Residual {
+			t.Fatalf("capped col %d residual %v vs scalar %v", c, bc.Residual, sres.Residual)
+		}
+		for i := 0; i < nState; i++ {
+			if capped.X[i*k+c] != sres.X[i] {
+				t.Fatalf("capped col %d x[%d] = %v, scalar %v", c, i, capped.X[i*k+c], sres.X[i])
+			}
+		}
+	}
+}
+
+// TestBatchCGMixedDrainOrder mixes an early-converging column with slower
+// ones: the early column's iterate must freeze at its own convergence point
+// while the rest keep iterating to theirs.
+func TestBatchCGMixedDrainOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	n := 50
+	a := randomSPD(rng, n)
+	pre, err := NewJacobi(a)
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
+	const k = 3
+	cols := randomCols(rng, n, k)
+	// Column 0 converges early: loose per-batch tolerance would not
+	// distinguish columns, so give it a near-solution warm start instead.
+	near, err := CG(a, cols[0], CGOptions{Tol: 1e-8, Precond: pre, Workers: 1})
+	if err != nil {
+		t.Fatalf("pre-solve: %v", err)
+	}
+	x0cols := make([][]float64, k)
+	for c := range x0cols {
+		x0cols[c] = make([]float64, n)
+	}
+	copy(x0cols[0], near.X)
+
+	res, err := BatchCG(a, interleave(cols), k,
+		BatchCGOptions{Tol: 1e-11, Precond: pre, Workers: 1, X0: interleave(x0cols), Work: NewBatchCGWorkspace(n, k)})
+	if err != nil {
+		t.Fatalf("BatchCG: %v", err)
+	}
+	if res.Cols[0].Iterations >= res.Cols[1].Iterations {
+		t.Fatalf("warm column did not drain early: %d vs %d", res.Cols[0].Iterations, res.Cols[1].Iterations)
+	}
+	for c := 0; c < k; c++ {
+		opts := CGOptions{Tol: 1e-11, Precond: pre, Workers: 1}
+		if c == 0 {
+			opts.X0 = x0cols[0]
+		}
+		sres, serr := CG(a, cols[c], opts)
+		if serr != nil {
+			t.Fatalf("scalar col %d: %v", c, serr)
+		}
+		if res.Cols[c].Iterations != sres.Iterations {
+			t.Fatalf("col %d iterations %d vs scalar %d", c, res.Cols[c].Iterations, sres.Iterations)
+		}
+		for i := 0; i < n; i++ {
+			if res.X[i*k+c] != sres.X[i] {
+				t.Fatalf("col %d x[%d] mismatch", c, i)
+			}
+		}
+	}
+}
+
+// TestBatchPrecondAppliesMatchScalar checks the shared-preconditioner batch
+// adapters column for column against their scalar Apply.
+func TestBatchPrecondAppliesMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	n := 34
+	a := randomSPD(rng, n)
+	const k = 5
+	cols := randomCols(rng, n, k)
+	r := interleave(cols)
+
+	jac, err := NewJacobi(a)
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
+	bsr := NewBSR2(a)
+	bjac, err := NewBlockJacobi(bsr)
+	if err != nil {
+		t.Fatalf("NewBlockJacobi: %v", err)
+	}
+	rPad := make([]float64, bsr.Rows*k)
+	copy(rPad, r) // n even here? build explicitly below instead
+	for _, tc := range []struct {
+		name string
+		pre  BatchPreconditioner
+		ref  Preconditioner
+		dim  int
+	}{
+		{"identity", IdentityPreconditioner{}, IdentityPreconditioner{}, n},
+		{"jacobi", jac, jac, n},
+	} {
+		z := make([]float64, tc.dim*k)
+		tc.pre.ApplyBatch(z, r[:tc.dim*k], k)
+		want := make([]float64, tc.dim)
+		for c := 0; c < k; c++ {
+			tc.ref.Apply(want, cols[c][:tc.dim])
+			for i := 0; i < tc.dim; i++ {
+				if z[i*k+c] != want[i] {
+					t.Fatalf("%s col %d row %d: %v != %v", tc.name, c, i, z[i*k+c], want[i])
+				}
+			}
+		}
+	}
+
+	// Block-Jacobi runs in the padded blocked dimension.
+	colsPad := randomCols(rng, bsr.Rows, k)
+	rp := interleave(colsPad)
+	zp := make([]float64, bsr.Rows*k)
+	bjac.ApplyBatch(zp, rp, k)
+	want := make([]float64, bsr.Rows)
+	for c := 0; c < k; c++ {
+		bjac.Apply(want, colsPad[c])
+		for i := 0; i < bsr.Rows; i++ {
+			if zp[i*k+c] != want[i] {
+				t.Fatalf("block-jacobi col %d row %d: %v != %v", c, i, zp[i*k+c], want[i])
+			}
+		}
+	}
+
+	// BatchJacobi rejects unusable diagonals.
+	bj := NewBatchJacobi(n, k)
+	bad := make([]float64, n)
+	if err := bj.SetColumn(0, bad); err == nil {
+		t.Fatal("SetColumn accepted a zero diagonal")
+	}
+}
+
+// TestBatchCGIC0MatchesScalarBitwise pairs BatchCG under a shared IC0
+// factor (the anchor-amortized batch preconditioner) with scalar CG runs
+// applying the same factor column by column: the interleaved triangular
+// solves must preserve each column's scalar arithmetic order exactly, so
+// solutions and iteration counts agree bit for bit.
+func TestBatchCGIC0MatchesScalarBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(417))
+	n := 40
+	a := randomSPD(rng, n)
+	pre, err := NewIC0(a)
+	if err != nil {
+		t.Fatalf("NewIC0: %v", err)
+	}
+	const k = 5
+	cols := randomCols(rng, n, k)
+	b := interleave(cols)
+
+	res, err := BatchCG(a, b, k, BatchCGOptions{Tol: 1e-11, Precond: pre, Workers: 1})
+	if err != nil {
+		t.Fatalf("BatchCG: %v", err)
+	}
+	for c := 0; c < k; c++ {
+		sres, serr := CG(a, cols[c], CGOptions{Tol: 1e-11, Precond: pre, Workers: 1})
+		if serr != nil {
+			t.Fatalf("scalar CG col %d: %v", c, serr)
+		}
+		bc := res.Cols[c]
+		if bc.Err != nil || !bc.Converged {
+			t.Fatalf("col %d: err=%v converged=%v", c, bc.Err, bc.Converged)
+		}
+		if bc.Iterations != sres.Iterations {
+			t.Fatalf("col %d iterations %d vs scalar %d", c, bc.Iterations, sres.Iterations)
+		}
+		for i := 0; i < n; i++ {
+			if res.X[i*k+c] != sres.X[i] {
+				t.Fatalf("col %d x[%d] = %v, scalar %v", c, i, res.X[i*k+c], sres.X[i])
+			}
+		}
+	}
+}

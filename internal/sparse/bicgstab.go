@@ -16,8 +16,12 @@ type BiCGSTABOptions struct {
 	MaxIter int
 	// Precond is the (left) preconditioner, normally ILU(0). Nil = none.
 	Precond Preconditioner
-	// Workers parallelizes the mat-vec (0 = GOMAXPROCS).
+	// Workers parallelizes the mat-vec (0 = GOMAXPROCS, 1 forces serial).
+	// Ignored when Pool is set.
 	Workers int
+	// Pool, when non-nil, runs the mat-vec on the persistent worker pool
+	// instead of spawning goroutines per call — the same dispatch CG uses.
+	Pool *Pool
 }
 
 // ErrBiCGBreakdown reports a breakdown (ρ or ω collapsed) before
@@ -47,6 +51,30 @@ func BiCGSTAB(a *CSR, b []float64, opts BiCGSTABOptions) (CGResult, error) {
 	var pre Preconditioner = IdentityPreconditioner{}
 	if opts.Precond != nil {
 		pre = opts.Precond
+	}
+	// Bind the mat-vec once with the same serial/parallel/pool dispatch CG
+	// uses: small systems and Workers<=1 take the serial kernel directly
+	// instead of re-deciding (and potentially spawning goroutines) on every
+	// one of the two products per iteration.
+	var mulVec func(y, x []float64)
+	if opts.Pool != nil {
+		parts := opts.Pool.Workers()
+		if parts > n {
+			parts = n
+		}
+		if parts > 1 && a.NNZ() >= parallelNNZThreshold {
+			pool := opts.Pool
+			bounds := make([]int, parts+1)
+			a.partitionRows(bounds, parts)
+			mulVec = func(y, x []float64) { a.mulVecRanges(y, x, pool, bounds) }
+		} else {
+			mulVec = a.MulVec
+		}
+	} else if opts.Workers == 1 || a.NNZ() < parallelNNZThreshold {
+		mulVec = a.MulVec
+	} else {
+		workers := opts.Workers
+		mulVec = func(y, x []float64) { a.MulVecParallel(y, x, workers) }
 	}
 
 	bnorm := Norm2(b)
@@ -83,7 +111,7 @@ func BiCGSTAB(a *CSR, b []float64, opts BiCGSTABOptions) (CGResult, error) {
 			p[i] = r[i] + beta*(p[i]-omega*v[i])
 		}
 		pre.Apply(phat, p)
-		a.MulVecParallel(v, phat, opts.Workers)
+		mulVec(v, phat)
 		den := Dot(rhat, v)
 		if math.Abs(den) < 1e-300 {
 			return res, ErrBiCGBreakdown
@@ -100,7 +128,7 @@ func BiCGSTAB(a *CSR, b []float64, opts BiCGSTABOptions) (CGResult, error) {
 			return res, nil
 		}
 		pre.Apply(shat, s)
-		a.MulVecParallel(t, shat, opts.Workers)
+		mulVec(t, shat)
 		tt := Dot(t, t)
 		if tt == 0 {
 			return res, ErrBiCGBreakdown

@@ -1,0 +1,145 @@
+package sparse
+
+import "fmt"
+
+// GainDelta is a sparse correction ΔG to a plan's gain matrix confined to
+// the contributions of a chosen set of measurement rows. For a contingency
+// case the perturbed H differs from the base H only in the rows touching
+// the outaged branch (its flows drop, its terminal injections change), so
+// G_case = G_base + ΔG where ΔG covers a handful of G entries; a batched
+// solver can then share one pass over G_base across all cases and add each
+// case's tiny ΔG·x on top.
+//
+// The delta lives in the coordinate space of the plan it was scattered
+// from (natural or permuted, whatever the plan bakes in). Entry e carries
+// the contribution subset of plan entry gpos[e] restricted to the selected
+// measurement rows; Refresh turns base and perturbed (H values, weights)
+// into per-entry values Σ (w₂·h₂·h₂ − w₁·h₁·h₁).
+type GainDelta struct {
+	n          int     // gain-matrix dimension
+	rows, cols []int32 // coordinates of each delta entry in the plan's G
+	gpos       []int32 // flat index of the entry in the plan's G.Val
+	val        []float64
+	entryPtr   []int32 // contribution ranges per delta entry
+	cA, cB, cM []int32 // contribution factor/weight indices (plan's arrays, filtered)
+}
+
+// DeltaScatter extracts the sparse delta skeleton for the given measurement
+// rows of H: every G entry receiving at least one contribution from those
+// rows, with its contribution list filtered down to them. Over-inclusive
+// row sets are harmless (their deltas refresh to zero); rows outside the
+// plan's H panic.
+func (gp *GainPlan) DeltaScatter(measRows []int) *GainDelta {
+	mark := make([]bool, gp.hrows)
+	for _, m := range measRows {
+		if m < 0 || m >= gp.hrows {
+			panic(fmt.Sprintf("sparse: DeltaScatter measurement row %d out of range %d", m, gp.hrows))
+		}
+		mark[m] = true
+	}
+	d := &GainDelta{n: gp.G.Rows}
+	d.entryPtr = append(d.entryPtr, 0)
+	for i := 0; i < gp.G.Rows; i++ {
+		for g := gp.G.RowPtr[i]; g < gp.G.RowPtr[i+1]; g++ {
+			touched := false
+			for t := gp.entryPtr[g]; t < gp.entryPtr[g+1]; t++ {
+				if mark[gp.cM[t]] {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			d.rows = append(d.rows, int32(i))
+			d.cols = append(d.cols, int32(gp.G.ColIdx[g]))
+			d.gpos = append(d.gpos, int32(g))
+			for t := gp.entryPtr[g]; t < gp.entryPtr[g+1]; t++ {
+				if mark[gp.cM[t]] {
+					d.cA = append(d.cA, gp.cA[t])
+					d.cB = append(d.cB, gp.cB[t])
+					d.cM = append(d.cM, gp.cM[t])
+				}
+			}
+			d.entryPtr = append(d.entryPtr, int32(len(d.cA)))
+		}
+	}
+	d.val = make([]float64, len(d.rows))
+	return d
+}
+
+// Entries returns the number of stored delta entries.
+func (d *GainDelta) Entries() int { return len(d.rows) }
+
+// Dim returns the gain-matrix dimension the delta applies to.
+func (d *GainDelta) Dim() int { return d.n }
+
+// EntryPos returns the coordinates and plan-G flat index of delta entry e
+// (diagnostics and exactness tests).
+func (d *GainDelta) EntryPos(e int) (row, col, gpos int) {
+	return int(d.rows[e]), int(d.cols[e]), int(d.gpos[e])
+}
+
+// Value returns the refreshed value of delta entry e.
+func (d *GainDelta) Value(e int) float64 { return d.val[e] }
+
+// Refresh recomputes the delta values from the base numeric state (h1, w1)
+// and the perturbed state (h2, w2), both given as flat H.Val slices and
+// weight vectors on the plan's H pattern:
+//
+//	val[e] = Σ_t w2[m]·h2[a]·h2[b] − w1[m]·h1[a]·h1[b]
+//
+// over the entry's filtered contributions. Adding val[e] to the base gain
+// entry gpos[e] yields the perturbed gain up to the roundoff of the two
+// accumulation orders (the full refresh interleaves base and perturbed
+// terms; the delta sums each side separately).
+func (d *GainDelta) Refresh(h1, w1, h2, w2 []float64) {
+	for e := range d.val {
+		s1, s2 := 0.0, 0.0
+		for t := d.entryPtr[e]; t < d.entryPtr[e+1]; t++ {
+			a, b, m := d.cA[t], d.cB[t], d.cM[t]
+			s1 += w1[m] * h1[a] * h1[b]
+			s2 += w2[m] * h2[a] * h2[b]
+		}
+		d.val[e] = s2 - s1
+	}
+}
+
+// Apply adds ΔG·x into y (single vector, plan-space length n).
+func (d *GainDelta) Apply(y, x []float64) {
+	if len(y) < d.n || len(x) < d.n {
+		panic(fmt.Sprintf("sparse: GainDelta.Apply dims y=%d x=%d for n=%d", len(y), len(x), d.n))
+	}
+	for e, v := range d.val {
+		y[d.rows[e]] += v * x[d.cols[e]]
+	}
+}
+
+// ApplyColumn adds ΔG·x_c into y_c for column c of a k-column interleaved
+// batch — the per-case correction BatchCG stacks on the shared base
+// mat-vec. y and x may exceed n·k (BSR padding); padded components are
+// never touched.
+func (d *GainDelta) ApplyColumn(y, x []float64, k, c int) {
+	if c < 0 || c >= k {
+		panic(fmt.Sprintf("sparse: GainDelta.ApplyColumn column %d of %d", c, k))
+	}
+	if len(y) < d.n*k || len(x) < d.n*k {
+		panic(fmt.Sprintf("sparse: GainDelta.ApplyColumn dims y=%d x=%d for n=%d k=%d", len(y), len(x), d.n, k))
+	}
+	for e, v := range d.val {
+		y[int(d.rows[e])*k+c] += v * x[int(d.cols[e])*k+c]
+	}
+}
+
+// AddDiag adds the delta's diagonal entries into diag (length n) — the
+// cheap way to build a per-case Jacobi diagonal from the base one.
+func (d *GainDelta) AddDiag(diag []float64) {
+	if len(diag) != d.n {
+		panic(fmt.Sprintf("sparse: GainDelta.AddDiag length %d for n=%d", len(diag), d.n))
+	}
+	for e, v := range d.val {
+		if d.rows[e] == d.cols[e] {
+			diag[d.rows[e]] += v
+		}
+	}
+}

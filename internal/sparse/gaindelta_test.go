@@ -1,0 +1,169 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// outageFixture builds an H whose top n rows are a scaled identity (full
+// column rank, positive diagonal) topped with random coupling rows — the
+// shape of a measurement Jacobian — plus positive weights.
+func outageFixture(rng *rand.Rand, n, extra int) (*CSR, []float64) {
+	coo := NewCOO(n+extra, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1+rng.Float64())
+	}
+	for r := 0; r < extra; r++ {
+		deg := 2 + rng.Intn(3)
+		for d := 0; d < deg; d++ {
+			coo.Add(n+r, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	h := coo.ToCSR()
+	w := make([]float64, h.Rows)
+	for i := range w {
+		w[i] = 0.5 + rng.Float64()
+	}
+	return h, w
+}
+
+// perturbRows returns (h2, w2): copies of h1's values and w1 with the given
+// measurement rows' values rescaled and the first listed row's weight
+// zeroed (a dropped measurement), the shape of an outage patch.
+func perturbRows(rng *rand.Rand, h *CSR, h1, w1 []float64, rows []int) (h2, w2 []float64) {
+	h2 = CopyVec(h1)
+	w2 = CopyVec(w1)
+	for ri, r := range rows {
+		for p := h.RowPtr[r]; p < h.RowPtr[r+1]; p++ {
+			h2[p] *= 1 + 0.3*rng.NormFloat64()
+		}
+		if ri == 0 {
+			w2[r] = 0
+		} else {
+			w2[r] *= 0.8 + 0.4*rng.Float64()
+		}
+	}
+	return h2, w2
+}
+
+func TestDeltaScatterExactnessEntryForEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	h, w1 := outageFixture(rng, 25, 40)
+	h1 := CopyVec(h.Val)
+
+	plan := NewGainPlan(h)
+	base := CopyVec(plan.Refresh(h, w1).Val)
+
+	rows := []int{3, 25 + 7, 25 + 8}
+	h2, w2 := perturbRows(rng, h, h1, w1, rows)
+	d := plan.DeltaScatter(rows)
+	if d.Entries() == 0 {
+		t.Fatal("delta has no entries")
+	}
+	d.Refresh(h1, w1, h2, w2)
+
+	// Full per-case refresh as ground truth.
+	copy(h.Val, h2)
+	caseVals := CopyVec(plan.Refresh(h, w2).Val)
+	copy(h.Val, h1)
+
+	inDelta := make([]bool, len(base))
+	for e := 0; e < d.Entries(); e++ {
+		_, _, g := d.EntryPos(e)
+		inDelta[g] = true
+		got := base[g] + d.Value(e)
+		want := caseVals[g]
+		if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("entry %d: base+delta %v vs full refresh %v", g, got, want)
+		}
+	}
+	// Entries outside the delta must be untouched by the perturbation —
+	// their contribution sums are bitwise identical.
+	for g := range base {
+		if !inDelta[g] && base[g] != caseVals[g] {
+			t.Fatalf("entry %d outside delta changed: %v -> %v", g, base[g], caseVals[g])
+		}
+	}
+}
+
+func TestDeltaApplyMatchesMaterializedDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	h, w1 := outageFixture(rng, 20, 30)
+	h1 := CopyVec(h.Val)
+	plan := NewGainPlan(h)
+	gBase := plan.Refresh(h, w1).Clone()
+
+	rows := []int{20 + 4, 20 + 5}
+	h2, w2 := perturbRows(rng, h, h1, w1, rows)
+	d := plan.DeltaScatter(rows)
+	d.Refresh(h1, w1, h2, w2)
+
+	copy(h.Val, h2)
+	gCase := plan.Refresh(h, w2).Clone()
+	copy(h.Val, h1)
+
+	n := gBase.Rows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n) // (G_case − G_base)·x
+	tmp := make([]float64, n)
+	gCase.MulVec(want, x)
+	gBase.MulVec(tmp, x)
+	Sub(want, want, tmp)
+
+	got := make([]float64, n)
+	d.Apply(got, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-11*(1+math.Abs(want[i])) {
+			t.Fatalf("Apply[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// ApplyColumn embeds the same product at any batch position.
+	const k, c = 5, 3
+	xi := make([]float64, n*k)
+	yi := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		xi[i*k+c] = x[i]
+	}
+	d.ApplyColumn(yi, xi, k, c)
+	for i := 0; i < n; i++ {
+		if yi[i*k+c] != got[i] {
+			t.Fatalf("ApplyColumn[%d] = %v, Apply %v", i, yi[i*k+c], got[i])
+		}
+		for cc := 0; cc < k; cc++ {
+			if cc != c && yi[i*k+cc] != 0 {
+				t.Fatalf("ApplyColumn leaked into column %d", cc)
+			}
+		}
+	}
+
+	// AddDiag reproduces the diagonal of the materialized difference.
+	diag := make([]float64, n)
+	d.AddDiag(diag)
+	baseDiag := make([]float64, n)
+	caseDiag := make([]float64, n)
+	gBase.DiagonalInto(baseDiag)
+	gCase.DiagonalInto(caseDiag)
+	for i := range diag {
+		want := caseDiag[i] - baseDiag[i]
+		if math.Abs(diag[i]-want) > 1e-11*(1+math.Abs(want)) {
+			t.Fatalf("AddDiag[%d] = %v, want %v", i, diag[i], want)
+		}
+	}
+
+	// An over-inclusive row set scatters more entries but applies the same
+	// correction: untouched rows contribute exact zeros.
+	dWide := plan.DeltaScatter([]int{20 + 4, 20 + 5, 0, 1, 2})
+	dWide.Refresh(h1, w1, h2, w2)
+	gotWide := make([]float64, n)
+	dWide.Apply(gotWide, x)
+	for i := range gotWide {
+		if math.Abs(gotWide[i]-got[i]) > 1e-13*(1+math.Abs(got[i])) {
+			t.Fatalf("over-inclusive Apply[%d] = %v, tight %v", i, gotWide[i], got[i])
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// interleave packs cols[c][i] into x[i*k+c].
+func interleave(cols [][]float64) []float64 {
+	k := len(cols)
+	n := len(cols[0])
+	x := make([]float64, n*k)
+	for c, v := range cols {
+		for i := range v {
+			x[i*k+c] = v[i]
+		}
+	}
+	return x
+}
+
+func randomCols(rng *rand.Rand, n, k int) [][]float64 {
+	cols := make([][]float64, k)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+		for i := range cols[c] {
+			cols[c][i] = rng.NormFloat64()
+		}
+	}
+	return cols
+}
+
+func TestMulMultiVecMatchesScalarColumnsBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := randomCSR(rng, 40, 30, 200)
+	for _, k := range []int{1, 2, 3, 8, maxInlineBatch, maxInlineBatch + 3} {
+		cols := randomCols(rng, a.Cols, k)
+		x := interleave(cols)
+		y := make([]float64, a.Rows*k)
+		a.MulMultiVec(y, x, k)
+		want := make([]float64, a.Rows)
+		for c := 0; c < k; c++ {
+			a.MulVec(want, cols[c])
+			for i := 0; i < a.Rows; i++ {
+				if y[i*k+c] != want[i] {
+					t.Fatalf("k=%d col %d row %d: %v != scalar %v", k, c, i, y[i*k+c], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulMultiVecBSRMatchesScalarColumnsBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := randomSPD(rng, 33) // odd: exercises the padding variable
+	b := NewBSR2(a)
+	for _, k := range []int{1, 4, 8, maxInlineBatch + 1} {
+		cols := randomCols(rng, b.Cols, k)
+		x := interleave(cols)
+		y := make([]float64, b.Rows*k)
+		b.MulMultiVec(y, x, k)
+		want := make([]float64, b.Rows)
+		for c := 0; c < k; c++ {
+			b.MulVec(want, cols[c])
+			for i := 0; i < b.Rows; i++ {
+				if y[i*k+c] != want[i] {
+					t.Fatalf("k=%d col %d row %d: %v != scalar %v", k, c, i, y[i*k+c], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulMultiVecParallelAndPoolMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	// Large enough that nnz·k crosses the parallel threshold.
+	a := randomCSR(rng, 700, 700, parallelNNZThreshold/4)
+	p := NewPool(4)
+	defer p.Close()
+	const k = 8
+	x := interleave(randomCols(rng, a.Cols, k))
+	want := make([]float64, a.Rows*k)
+	a.MulMultiVec(want, x, k)
+
+	got := make([]float64, a.Rows*k)
+	a.MulMultiVecParallel(got, x, k, 4)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("parallel[%d] = %v, serial %v", i, got[i], want[i])
+		}
+	}
+	for i := range got {
+		got[i] = 0
+	}
+	a.MulMultiVecPool(got, x, k, p)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pooled[%d] = %v, serial %v", i, got[i], want[i])
+		}
+	}
+
+	bb := NewBSR2(randomSPD(rng, 501))
+	xb := interleave(randomCols(rng, bb.Cols, k))
+	wantb := make([]float64, bb.Rows*k)
+	bb.MulMultiVec(wantb, xb, k)
+	gotb := make([]float64, bb.Rows*k)
+	bb.MulMultiVecParallel(gotb, xb, k, 4)
+	for i := range gotb {
+		if gotb[i] != wantb[i] {
+			t.Fatalf("BSR parallel[%d] = %v, serial %v", i, gotb[i], wantb[i])
+		}
+	}
+	for i := range gotb {
+		gotb[i] = 0
+	}
+	bb.MulMultiVecPool(gotb, xb, k, p)
+	for i := range gotb {
+		if gotb[i] != wantb[i] {
+			t.Fatalf("BSR pooled[%d] = %v, serial %v", i, gotb[i], wantb[i])
+		}
+	}
+}
+
+// TestMulMultiVecZeroAlloc pins the steady-state batched mat-vec at zero
+// allocations per call: the batch loop must never pay per-iteration setup.
+func TestMulMultiVecZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	a := randomSPD(rng, 60)
+	b := NewBSR2(a)
+	const k = 8
+	x := interleave(randomCols(rng, a.Cols, k))
+	y := make([]float64, a.Rows*k)
+	if allocs := testing.AllocsPerRun(50, func() { a.MulMultiVec(y, x, k) }); allocs != 0 {
+		t.Fatalf("CSR MulMultiVec allocates %.0f per run", allocs)
+	}
+	xb := interleave(randomCols(rng, b.Cols, k))
+	yb := make([]float64, b.Rows*k)
+	if allocs := testing.AllocsPerRun(50, func() { b.MulMultiVec(yb, xb, k) }); allocs != 0 {
+		t.Fatalf("BSR MulMultiVec allocates %.0f per run", allocs)
+	}
+}

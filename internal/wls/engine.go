@@ -85,6 +85,62 @@ type gainReuse struct {
 	ord     OrderingKind
 	precond PrecondKind
 	freshCG int // CG iterations of the anchoring fresh solve (guard budget)
+
+	// Adaptive-gate state (Options.AdaptiveGate): adapt scales the drift
+	// gate (0 means uninitialized, i.e. ×1) and streak counts consecutive
+	// clean lagged-gain accepts since the last widening or setback. Both
+	// survive re-anchoring — the gate learns the signal's character, not a
+	// single anchor's.
+	adapt  float64
+	streak int
+}
+
+// Adaptive-gate dynamics: after adaptStreakRuns consecutive clean lagged
+// accepts (CG within slack of the fresh count) the gate doubles; any guard
+// fallback halves it. The scale is clamped to [1/adaptGateSpan,
+// adaptGateSpan] around the configured gate.
+const (
+	adaptGateSpan   = 8.0
+	adaptStreakRuns = 4
+)
+
+// adaptScale returns the current gate multiplier (1 when uninitialized).
+func (r *gainReuse) adaptScale() float64 {
+	if r.adapt == 0 {
+		return 1
+	}
+	return r.adapt
+}
+
+// adaptClean records a clean lagged-gain accept: after a full streak the
+// gate widens ×2, capped at adaptGateSpan.
+func (r *gainReuse) adaptClean() {
+	r.streak++
+	if r.streak < adaptStreakRuns {
+		return
+	}
+	r.streak = 0
+	if s := r.adaptScale() * 2; s <= adaptGateSpan {
+		r.adapt = s
+	} else {
+		r.adapt = adaptGateSpan
+	}
+}
+
+// adaptInflated records a lagged accept whose CG count inflated past the
+// fresh solve's (still within the guard budget): the streak resets but the
+// gate holds.
+func (r *gainReuse) adaptInflated() { r.streak = 0 }
+
+// adaptFallback records a guard fallback: the gate tightens ÷2, floored at
+// 1/adaptGateSpan.
+func (r *gainReuse) adaptFallback() {
+	r.streak = 0
+	if s := r.adaptScale() / 2; s >= 1/adaptGateSpan {
+		r.adapt = s
+	} else {
+		r.adapt = 1 / adaptGateSpan
+	}
 }
 
 // Lagged-gain guard budget: a lagged CG solve may spend up to
@@ -640,7 +696,11 @@ func (e *Engine) trialImproves(x, dx []float64) bool {
 func (e *Engine) gainStep(x []float64, hj *sparse.CSR, opts Options, cgTol float64, mode GainReuseKind, gate float64, res *Result) ([]float64, error) {
 	tier := lagNone
 	if mode != ReuseOff {
-		tier = e.reuseTier(x, opts, mode, gate)
+		g := gate
+		if opts.AdaptiveGate {
+			g *= e.reuse.adaptScale()
+		}
+		tier = e.reuseTier(x, opts, mode, g)
 	}
 	if tier == lagGain {
 		e.gainRHS(hj, opts)
@@ -652,6 +712,13 @@ func (e *Engine) gainStep(x []float64, hj *sparse.CSR, opts Options, cgTol float
 			res.GainSkips++
 			res.PrecondSkips++
 			e.hValid = true // the guard left h/r evaluated at x+dx
+			if opts.AdaptiveGate {
+				if cg <= e.reuse.freshCG+reuseCGSlack {
+					e.reuse.adaptClean()
+				} else {
+					e.reuse.adaptInflated()
+				}
+			}
 			return dx, nil
 		}
 		// Guard tripped: the stale operator stalled the descent, CG blew
@@ -660,6 +727,9 @@ func (e *Engine) gainStep(x []float64, hj *sparse.CSR, opts Options, cgTol float
 		// only clobbers the h/r buffers — so only the gain scatter, the
 		// preconditioner, and the CG solve repeat.
 		res.ReuseFallbacks++
+		if opts.AdaptiveGate {
+			e.reuse.adaptFallback()
+		}
 		gs, gerr := e.refreshGain(hj, opts)
 		if gerr != nil {
 			e.reuse.valid = false

@@ -224,6 +224,16 @@ type Options struct {
 	// selects the tier default: ReuseGateDefault for ReusePrecond,
 	// ReuseGainGateDefault for ReuseGain.
 	ReuseGate float64
+	// AdaptiveGate, when true, scales the reuse drift gate from the
+	// lagged-gain guard's observed outcomes: four consecutive clean lagged
+	// accepts (inner CG within slack of the anchoring fresh solve) double
+	// the gate, any guard fallback halves it, clamped to [gate/8, gate×8].
+	// Quiescent tracking signals thus widen the gate and skip more
+	// refreshes; jittery signals tighten it and re-anchor early. The learned
+	// scale persists across solves and anchors on the same engine. The guard
+	// semantics are unchanged, so estimates stay pinned to the fixed-gate
+	// path exactly as ReuseGain already guarantees.
+	AdaptiveGate bool
 	// X0Gate, when positive, guards the warm start behind a scaled-residual
 	// test: X0 is kept only while its weighted residual J(X0) stays within
 	// X0Gate·J(flat) of the flat start's, and otherwise the solve quietly
