@@ -141,6 +141,12 @@ func screenPooled(ctx context.Context, net *gridse.Network, truth *gridse.PowerF
 		if batch >= 2 {
 			fmt.Printf("  batched %d/%d (fallbacks %d, reanchors %d)\n",
 				stats.BatchedCases, stats.Estimated, stats.BatchFallbacks, stats.Reanchors)
+			frac := 0.0
+			if stats.BatchMatVecs > 0 {
+				frac = float64(stats.CompactedMatVecs) / float64(stats.BatchMatVecs)
+			}
+			fmt.Printf("  compactions %d, compacted mat-vecs %d/%d (%.0f%%)\n",
+				stats.Compactions, stats.CompactedMatVecs, stats.BatchMatVecs, 100*frac)
 		}
 		last = results
 	}

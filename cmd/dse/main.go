@@ -34,6 +34,7 @@ func main() {
 		refine     = flag.Bool("refine", false, "with -hierarchical: coordinator re-estimates the boundary system")
 		frames     = flag.Int("frames", 1, "track this many measurement frames in-process (session reuse + warm starts)")
 		gainReuse  = flag.String("gain-reuse", "auto", "drift-gated gain/preconditioner reuse: auto, off, precond, gain")
+		adaptGate  = flag.Bool("adaptive-gate", false, "scale the reuse drift gate from observed lagged-solve outcomes")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 	default:
 		log.Fatalf("unknown -gain-reuse %q (want auto, off, precond or gain)", *gainReuse)
 	}
-	wlsOpts := gridse.EstimatorOptions{GainReuse: reuseKind}
+	wlsOpts := gridse.EstimatorOptions{GainReuse: reuseKind, AdaptiveGate: *adaptGate}
 
 	// Interrupt (Ctrl-C) or SIGTERM cancels the run cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -26,6 +26,7 @@ func main() {
 		precond  = flag.String("precond", "jacobi", "PCG preconditioner: none|jacobi|bjacobi|ic0|ssor")
 		format   = flag.String("format", "auto", "gain-matrix layout: auto|csr|bsr")
 		reuse    = flag.String("gain-reuse", "auto", "drift-gated gain/preconditioner reuse: auto|off|precond|gain")
+		adaptive = flag.Bool("adaptive-gate", false, "scale the reuse drift gate from observed lagged-solve outcomes")
 		workers  = flag.Int("workers", 0, "parallel mat-vec workers (0 = GOMAXPROCS)")
 		plan     = flag.String("plan", "full", "metering plan: full|rtu|pmu")
 		baddata  = flag.Bool("baddata", false, "run chi-square bad-data detection")
@@ -62,7 +63,7 @@ func main() {
 		log.Fatalf("simulate: %v", err)
 	}
 
-	opts := gridse.EstimatorOptions{Workers: *workers}
+	opts := gridse.EstimatorOptions{Workers: *workers, AdaptiveGate: *adaptive}
 	switch *solver {
 	case "pcg":
 		opts.Solver = gridse.SolverPCG

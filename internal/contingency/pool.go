@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -99,6 +101,15 @@ type SweepStats struct {
 	BatchedCases   int
 	BatchFallbacks int
 	Reanchors      int
+	// Compactions counts batched-solver width repacks: drained columns
+	// removed from the shared mat-vec mid-solve. BatchMatVecs and
+	// CompactedMatVecs count the batched solver's shared-operator passes
+	// and those that ran below the original batch width — their ratio is
+	// the sweep's compacted-iteration fraction. All three stay zero on
+	// scalar sweeps.
+	Compactions      int
+	BatchMatVecs     int
+	CompactedMatVecs int
 }
 
 // add accumulates o into st.
@@ -117,6 +128,9 @@ func (st *SweepStats) add(o SweepStats) {
 	st.BatchedCases += o.BatchedCases
 	st.BatchFallbacks += o.BatchFallbacks
 	st.Reanchors += o.Reanchors
+	st.Compactions += o.Compactions
+	st.BatchMatVecs += o.BatchMatVecs
+	st.CompactedMatVecs += o.CompactedMatVecs
 }
 
 // Pool is a session pool for what-if re-screening: per outage it caches the
@@ -154,6 +168,36 @@ type Pool struct {
 	baseSess    *caseSession
 	batch       *wls.BatchEngine
 	frameToBase []int32
+	// Per-sweep scheduling scratch (Screen is serialized by runMu, so one
+	// set per pool keeps the warm steady state allocation-free).
+	drain     drainSorter
+	unitStats []SweepStats
+	caseErrs  []error
+}
+
+// caseCost is one outage's recorded lockstep cost from its previous
+// successful estimate.
+type caseCost struct{ gn, cg int }
+
+// drainSorter orders case positions ascending by recorded (GN, CG) cost
+// with an original-index tie-break. It implements sort.Interface on pool-
+// owned slices so repeated sweeps sort without allocating.
+type drainSorter struct {
+	order []int
+	costs []caseCost // indexed by case position, not by order slot
+}
+
+func (s *drainSorter) Len() int      { return len(s.order) }
+func (s *drainSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+func (s *drainSorter) Less(a, b int) bool {
+	ca, cb := s.costs[s.order[a]], s.costs[s.order[b]]
+	if ca.gn != cb.gn {
+		return ca.gn < cb.gn
+	}
+	if ca.cg != cb.cg {
+		return ca.cg < cb.cg
+	}
+	return s.order[a] < s.order[b]
 }
 
 // caseSession is one outage's cached stack. During a sweep each case is
@@ -176,6 +220,11 @@ type caseSession struct {
 	// sweeps; measMap is its case → base measurement mapping scratch.
 	bc      *wls.BatchCase
 	measMap []int32
+	// lastGN/lastCG record the previous successful estimate's iteration
+	// counts; the batched sweep co-schedules cases of similar cost so the
+	// columns of one lockstep unit drain together (drain-aware scheduling).
+	lastGN, lastCG int
+	haveCost       bool
 
 	// Distributed mode.
 	dec *core.Decomposition
@@ -353,8 +402,15 @@ func (p *Pool) batchWLSOptions() wls.Options {
 // screenBatched is the batched sweep body: one shared-anchor preparation,
 // then units of up to Batch cases scheduled across workers, each unit
 // solved by one lockstep multi-RHS gain solve (scalar fallback per case
-// inside wls.BatchEngine). ok = false reports the batched path cannot run
-// this sweep and no case was attempted.
+// inside wls.BatchEngine). Units are packed drain-aware: cases are ordered
+// by their previous frame's recorded (GN, CG) iteration cost so the
+// columns of one unit tend to converge — and therefore drain and compact —
+// together. Because that ordering decouples unit index from case index,
+// per-case failures are collected against the original case indices and
+// the lowest-indexed failing case's error is returned after the sweep,
+// preserving the scalar path's deterministic error contract (cancellation
+// still wins, and no partial results are returned). ok = false reports the
+// batched path cannot run this sweep and no case was attempted.
 func (p *Pool) screenBatched(ctx context.Context, frame []meas.Measurement, ratings []float64, cases []int, opts ParallelOptions, threshold float64) ([]CaseEstimate, SweepStats, bool, error) {
 	wopts := p.batchWLSOptions()
 	var prep SweepStats
@@ -392,6 +448,36 @@ func (p *Pool) screenBatched(ctx context.Context, frame []meas.Measurement, rati
 	units := (len(cases) + width - 1) / width
 	results := make([]CaseEstimate, len(cases))
 	perCase := make([]SweepStats, len(cases))
+	if cap(p.unitStats) < units {
+		p.unitStats = make([]SweepStats, units)
+	}
+	perUnit := p.unitStats[:units]
+	for u := range perUnit {
+		perUnit[u] = SweepStats{}
+	}
+	order := p.drainOrder(cases)
+	// Per-case failures, indexed by original case position. The unit
+	// closures record failures here and keep sweeping; the lowest-indexed
+	// one is the sweep's error, exactly as the scalar scheduler's own
+	// watermark guarantees when units and cases coincide.
+	if cap(p.caseErrs) < len(cases) {
+		p.caseErrs = make([]error, len(cases))
+	}
+	caseErrs := p.caseErrs[:len(cases)]
+	for i := range caseErrs {
+		caseErrs[i] = nil
+	}
+	var minFail atomic.Int64
+	minFail.Store(int64(len(cases)))
+	fail := func(k int, err error) {
+		caseErrs[k] = err
+		for {
+			cur := minFail.Load()
+			if int64(k) >= cur || minFail.CompareAndSwap(cur, int64(k)) {
+				return
+			}
+		}
+	}
 	chk := newIslandChecker(p.base)
 	err := schedule(ctx, units, opts.Workers, opts.Scheduling, func(u int) error {
 		lo, hi := u*width, (u+1)*width
@@ -401,9 +487,12 @@ func (p *Pool) screenBatched(ctx context.Context, frame []meas.Measurement, rati
 		bcs := make([]*wls.BatchCase, 0, hi-lo)
 		sess := make([]*caseSession, 0, hi-lo)
 		idxs := make([]int, 0, hi-lo)
-		for k := lo; k < hi; k++ {
+		for _, k := range order[lo:hi] {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("contingency: screen canceled: %w", err)
+			}
+			if int64(k) >= minFail.Load() {
+				continue // a lower-indexed case already failed
 			}
 			out := cases[k]
 			ce := CaseEstimate{Result: Result{Outage: out}}
@@ -417,7 +506,8 @@ func (p *Pool) screenBatched(ctx context.Context, frame []meas.Measurement, rati
 			}
 			e, err := p.ensureCase(out, frame, st)
 			if err != nil {
-				return fmt.Errorf("contingency: outage %d: %w", out, err)
+				fail(k, fmt.Errorf("contingency: outage %d: %w", out, err))
+				continue
 			}
 			results[k] = ce
 			bcs = append(bcs, p.prepareBatchCase(e, st))
@@ -427,14 +517,19 @@ func (p *Pool) screenBatched(ctx context.Context, frame []meas.Measurement, rati
 		if len(bcs) == 0 {
 			return nil
 		}
-		p.batch.SolveBatch(ctx, bcs, wopts)
+		bst := p.batch.SolveBatch(ctx, bcs, wopts)
+		perUnit[u].Compactions += bst.Compactions
+		perUnit[u].BatchMatVecs += bst.MatVecs
+		perUnit[u].CompactedMatVecs += bst.CompactedMatVecs
 		for i, bc := range bcs {
 			k := idxs[i]
 			if bc.Err != nil {
-				return fmt.Errorf("contingency: outage %d: %w", cases[k], bc.Err)
+				fail(k, fmt.Errorf("contingency: outage %d: %w", cases[k], bc.Err))
+				continue
 			}
 			e := sess[i]
 			e.warm, e.haveWarm = bc.Res.X, true
+			e.lastGN, e.lastCG, e.haveCost = bc.Res.Iterations, bc.Res.CGIterations, true
 			st := &perCase[k]
 			st.Estimated = 1
 			if bc.Fallback {
@@ -458,15 +553,52 @@ func (p *Pool) screenBatched(ctx context.Context, frame []meas.Measurement, rati
 	if err != nil {
 		return nil, SweepStats{}, true, err
 	}
+	if k := minFail.Load(); int(k) < len(cases) {
+		return nil, SweepStats{}, true, caseErrs[k]
+	}
 
 	stats := prep
 	for _, st := range perCase {
+		stats.add(st)
+	}
+	for _, st := range perUnit {
 		stats.add(st)
 	}
 	p.mu.Lock()
 	p.builds += stats.SkeletonBuilds
 	p.mu.Unlock()
 	return results, stats, true, nil
+}
+
+// drainOrder returns the case indices permuted for drain-aware unit
+// packing: ascending by the previous sweep's recorded (GN, CG) iteration
+// cost, so cases expected to converge in the same number of lockstep
+// rounds share a batch unit and its columns drain together. Cases without
+// history (first sweep, fresh sessions, islanding) sort last as a group.
+// Ties break on the original case index, so the permutation — and with it
+// the sweep's unit composition — is deterministic given a deterministic
+// frame history.
+func (p *Pool) drainOrder(cases []int) []int {
+	if cap(p.drain.costs) < len(cases) {
+		p.drain.costs = make([]caseCost, len(cases))
+		p.drain.order = make([]int, len(cases))
+	}
+	p.drain.costs = p.drain.costs[:len(cases)]
+	p.drain.order = p.drain.order[:len(cases)]
+	p.mu.Lock()
+	for i, out := range cases {
+		if e := p.entries[out]; e != nil && e.haveCost {
+			p.drain.costs[i] = caseCost{e.lastGN, e.lastCG}
+		} else {
+			p.drain.costs[i] = caseCost{math.MaxInt, math.MaxInt}
+		}
+	}
+	p.mu.Unlock()
+	for i := range p.drain.order {
+		p.drain.order[i] = i
+	}
+	sort.Sort(&p.drain)
+	return p.drain.order
 }
 
 // ensureBase builds or value-refreshes the base-topology session the
@@ -604,6 +736,7 @@ func (p *Pool) runCentralized(ctx context.Context, out int, frame []meas.Measure
 		return err
 	}
 	e.warm, e.haveWarm = res.X, true
+	e.lastGN, e.lastCG, e.haveCost = res.Iterations, res.CGIterations, true
 	ce.Estimate = res
 	st.GNIterations += res.Iterations
 	st.CGIterations += res.CGIterations

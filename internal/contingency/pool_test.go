@@ -305,6 +305,99 @@ func TestPoolDeterministicError(t *testing.T) {
 	}
 }
 
+// ringUnobservableFixture builds a 4-bus ring whose telemetry leans on
+// branches 0 and 1: outaging either drops four flow meters and leaves fewer
+// measurements than states (m = 6 < n = 7), failing deterministically
+// through the rank check rather than through fragile numerics, while
+// outaging the unmetered branch 3 keeps all ten measurements and stays
+// estimable.
+func ringUnobservableFixture(t *testing.T) (*grid.Network, []meas.Measurement) {
+	t.Helper()
+	buses := []grid.Bus{
+		{ID: 1, Type: grid.Slack, Vm: 1},
+		{ID: 2, Type: grid.PQ, Pd: 10, Qd: 5, Vm: 1},
+		{ID: 3, Type: grid.PQ, Pd: 10, Qd: 5, Vm: 1},
+		{ID: 4, Type: grid.PQ, Pd: 10, Qd: 5, Vm: 1},
+	}
+	branches := []grid.Branch{
+		{From: 1, To: 2, R: 0.01, X: 0.1, Status: true},
+		{From: 2, To: 3, R: 0.01, X: 0.1, Status: true},
+		{From: 3, To: 4, R: 0.01, X: 0.1, Status: true},
+		{From: 4, To: 1, R: 0.01, X: 0.1, Status: true},
+	}
+	gens := []grid.Gen{{Bus: 1, Pg: 30, Vset: 1, Status: true}}
+	n, err := grid.New("ring4", 100, buses, branches, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := solved(t, n)
+	plan := []meas.Measurement{
+		{Kind: meas.Pflow, Branch: 0, FromSide: true, Sigma: 0.008},
+		{Kind: meas.Pflow, Branch: 0, FromSide: false, Sigma: 0.008},
+		{Kind: meas.Qflow, Branch: 0, FromSide: true, Sigma: 0.008},
+		{Kind: meas.Qflow, Branch: 0, FromSide: false, Sigma: 0.008},
+		{Kind: meas.Pflow, Branch: 1, FromSide: true, Sigma: 0.008},
+		{Kind: meas.Pflow, Branch: 1, FromSide: false, Sigma: 0.008},
+		{Kind: meas.Qflow, Branch: 1, FromSide: true, Sigma: 0.008},
+		{Kind: meas.Qflow, Branch: 1, FromSide: false, Sigma: 0.008},
+		{Kind: meas.Pinj, Bus: 4, Sigma: 0.008},
+		{Kind: meas.Qinj, Bus: 4, Sigma: 0.008},
+	}
+	frame, err := meas.Simulate(n, plan, st, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, frame
+}
+
+// TestPoolBatchedDrainOrderDeterministicError checks drain-aware unit
+// packing keeps schedule()'s error contract on the batched path: whatever
+// order recorded per-case costs induce, a sweep with failing cases always
+// reports the first requested case's error with no partial results, under
+// both scheduling modes. The second sweep of each pool runs with cost
+// history (only the successful outage 3 has any, so it sorts ahead of the
+// history-less failures), exercising the cross-unit failure watermark on a
+// genuinely reordered sweep.
+func TestPoolBatchedDrainOrderDeterministicError(t *testing.T) {
+	n, frame := ringUnobservableFixture(t)
+	ctx := context.Background()
+
+	// Fixture sanity: the unmetered outage on its own must estimate fine.
+	ok, err := NewPool(n, PoolOptions{Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ok.Screen(ctx, frame, nil, []int{3}, ParallelOptions{}); err != nil {
+		t.Fatalf("healthy outage failed: %v", err)
+	}
+
+	cases := []int{0, 1, 3}
+	for _, sched := range []Scheduling{StaticScheduling, CounterScheduling} {
+		for rep := 0; rep < 3; rep++ {
+			pool, err := NewPool(n, PoolOptions{Batch: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sweep := 0; sweep < 2; sweep++ {
+				res, _, err := pool.Screen(ctx, frame, nil, cases, ParallelOptions{Workers: 3, Scheduling: sched})
+				if err == nil {
+					t.Fatalf("sched=%v sweep=%d: sweep with unobservable outages succeeded", sched, sweep)
+				}
+				if res != nil {
+					t.Fatalf("sched=%v sweep=%d: partial results returned with error", sched, sweep)
+				}
+				if !errors.Is(err, wls.ErrUnobservable) {
+					t.Fatalf("sched=%v sweep=%d: error %v does not wrap ErrUnobservable", sched, sweep, err)
+				}
+				if want := "outage 0"; !strings.Contains(err.Error(), want) {
+					t.Fatalf("sched=%v rep=%d sweep=%d: error %q is not the first case's (%s)",
+						sched, rep, sweep, err, want)
+				}
+			}
+		}
+	}
+}
+
 func TestPoolValidation(t *testing.T) {
 	n := grid.Case14()
 	plan := meas.FullPlan().Build(n)

@@ -5,6 +5,12 @@ import (
 	"math"
 )
 
+// batchCompactMinDrop is the minimum-savings guard on width compaction: a
+// repack must retire at least this many lanes, so tiny batches (and the
+// last straggler pair of a wide one) never pay the repack pass for a
+// saving the narrower mat-vec cannot recover.
+const batchCompactMinDrop = 2
+
 // BatchCGOptions controls the batched multi-RHS conjugate-gradient solver.
 type BatchCGOptions struct {
 	// Tol is the per-column relative residual tolerance (default 1e-10).
@@ -31,11 +37,18 @@ type BatchCGOptions struct {
 	// Each column passes the scalar warm-start gate independently:
 	// a column's guess is kept only when its squared residual is at most
 	// warmStartGate times the zero start's, so warm starting a column
-	// either clearly helps or leaves it exactly cold-started.
+	// either clearly helps or leaves it exactly cold-started. An X0 of
+	// all (positive) zeros is detected up front and treated as a cold
+	// start, skipping the probe mat-vec it would pay to reject nothing.
 	X0 []float64
 	// Work, when non-nil, supplies the iteration storage so repeated
 	// batched solves allocate nothing. BatchCGResult.X aliases Work.
 	Work *BatchCGWorkspace
+	// NoCompact disables active-column width compaction, keeping the
+	// shared mat-vec at the original batch width until the last column
+	// drains. Results are bitwise identical either way; the knob exists
+	// for benchmarking the compaction win and for debugging.
+	NoCompact bool
 }
 
 // BatchCGColumn reports how one column of a batched solve went. Err is nil
@@ -50,24 +63,38 @@ type BatchCGColumn struct {
 }
 
 // BatchCGResult reports a batched solve: X is the column-interleaved
-// solution block (aliasing the workspace) and Cols the per-column outcome.
+// solution block in the original column order (aliasing the workspace) and
+// Cols the per-column outcome.
 type BatchCGResult struct {
 	X    []float64
 	Cols []BatchCGColumn
+	// Compactions counts the width repacks performed during the solve.
+	Compactions int
+	// MatVecs counts the shared multi-vector operator passes (including
+	// the warm-start probe when it runs); CompactedMatVecs counts those
+	// that ran at a width narrower than the original batch. Their ratio
+	// is the compacted-iteration fraction of the solve.
+	MatVecs          int
+	CompactedMatVecs int
 }
 
 // BatchCGWorkspace holds the iteration storage of a batched CG solve for
 // reuse. The zero value is usable; buffers grow on demand and are retained.
 type BatchCGWorkspace struct {
-	x, r, z, p, ap []float64 // n·k column-interleaved iteration blocks
-	rr, rz, bnorm  []float64 // k per-column reduction state
+	x, r, z, p, ap []float64 // n·width column-interleaved iteration blocks
+	rr, rz, bnorm  []float64 // per-lane reduction state
 	alpha, scr     []float64
 	active         []bool
 	actIdx         []int
-	cols           []BatchCGColumn
+	lanes          []int           // lane → original column (identity until compaction)
+	cols           []BatchCGColumn // indexed by original column
+	xout           []float64       // n·k original-order scatter target (compacted solves)
+	cdeltas        []*GainDelta    // compacted view of BatchCGOptions.Deltas
+	cbj            BatchJacobi     // compacted view of a per-column Jacobi
 
 	// Cached nnz-balanced partition for the pooled mat-vec, keyed on the
-	// operator identity and part count exactly like CGWorkspace.
+	// operator identity and part count exactly like CGWorkspace. The
+	// partition is row-space only, so it stays valid across compactions.
 	mvBounds []int
 	mvOp     Operator
 	mvParts  int
@@ -101,6 +128,13 @@ func (w *BatchCGWorkspace) resize(n, k int) {
 		w.actIdx = make([]int, 0, k)
 	}
 	w.actIdx = w.actIdx[:0]
+	if cap(w.lanes) < k {
+		w.lanes = make([]int, k)
+	}
+	w.lanes = w.lanes[:k]
+	for c := range w.lanes {
+		w.lanes[c] = c
+	}
 	if cap(w.cols) < k {
 		w.cols = make([]BatchCGColumn, k)
 	}
@@ -124,9 +158,10 @@ func (w *BatchCGWorkspace) partition(a Operator, parts int) []int {
 	return w.mvBounds
 }
 
-// rebuildActive refreshes the compacted active-column index list after a
-// column drains — "converged columns drop out of the dot-product
-// reductions", while the shared mat-vec keeps full width.
+// rebuildActive refreshes the compacted active-lane index list after a
+// lane drains — "converged columns drop out of the dot-product
+// reductions", while the shared mat-vec keeps the current block width
+// until compaction narrows it.
 func (w *BatchCGWorkspace) rebuildActive() {
 	w.actIdx = w.actIdx[:0]
 	for c, on := range w.active {
@@ -136,16 +171,79 @@ func (w *BatchCGWorkspace) rebuildActive() {
 	}
 }
 
+// compact repacks the still-active lanes of a width-lane interleaved block
+// into the leading len(actIdx) lanes and returns the new width. Each
+// dropped lane's solution is snapshotted into the original-order output
+// block first. The repack is in-place safe: actIdx is ascending, so every
+// destination index i·ka+c2 stays at or before its source index i·width+l
+// and no unread entry is clobbered. Only x, r and p carry state across the
+// compaction point — z and ap are fully rewritten before their next read —
+// and per-lane values move between slots untouched, so no column's
+// floating-point sequence changes.
+func (w *BatchCGWorkspace) compact(n, kOrig, width int) int {
+	ka := len(w.actIdx)
+	w.xout = grow(w.xout, n*kOrig)
+	x, r, p, xout := w.x, w.r, w.p, w.xout
+	lanes, act := w.lanes, w.actIdx
+	for i := 0; i < n; i++ {
+		srcOff := i * width
+		for l := 0; l < width; l++ {
+			if !w.active[l] {
+				xout[i*kOrig+lanes[l]] = x[srcOff+l]
+			}
+		}
+		dstOff := i * ka
+		for c2, l := range act {
+			x[dstOff+c2] = x[srcOff+l]
+			r[dstOff+c2] = r[srcOff+l]
+			p[dstOff+c2] = p[srcOff+l]
+		}
+	}
+	for c2, l := range act {
+		w.rr[c2] = w.rr[l]
+		w.rz[c2] = w.rz[l]
+		w.bnorm[c2] = w.bnorm[l]
+		lanes[c2] = lanes[l]
+	}
+	w.lanes = lanes[:ka]
+	w.active = w.active[:ka]
+	for c2 := range w.active {
+		w.active[c2] = true
+		act[c2] = c2
+	}
+	return ka
+}
+
+// allStrictZero reports whether every entry is a positive zero. A warm
+// start of all +0 is exactly the cold start, so the probe mat-vec has
+// nothing to gate; a -0 entry still takes the probe path so the iterate
+// keeps the caller's bits.
+func allStrictZero(v []float64) bool {
+	for _, e := range v {
+		if e != 0 || math.Signbit(e) {
+			return false
+		}
+	}
+	return true
+}
+
 // BatchCG solves K systems (A + ΔG_c)·x_c = b_c simultaneously with
 // preconditioned CG over column-interleaved vectors. The matrix pass —
-// the dominant memory traffic — runs at full batch width once per
-// iteration; all per-column reductions and vector updates run only over
-// still-active columns, and a column that converges, hits pap ≤ 0, or
-// exhausts MaxIter drains without disturbing the others. Per column the
-// iteration replays the scalar CG recurrence in the same floating-point
-// order, so each column matches an independent scalar solve on its own
-// operator bit for bit (modulo the operator evaluation itself when a delta
-// is attached, whose merged-sum order differs from a materialized matrix).
+// the dominant memory traffic — is shared across the batch; all per-column
+// reductions and vector updates run only over still-active lanes, and a
+// column that converges, hits pap ≤ 0, or exhausts MaxIter drains without
+// disturbing the others. Once at most half the lanes are live (and at
+// least batchCompactMinDrop would retire), the still-active lanes are
+// repacked into a narrower interleaved block so the shared mat-vec, the
+// preconditioner, and the vector updates all run at the live width; the
+// kernel-path choice (serial vs pooled) is re-evaluated at each width.
+// Per column the iteration replays the scalar CG recurrence in the same
+// floating-point order — compaction only changes which lanes exist, never
+// a column's arithmetic — so each column matches an independent scalar
+// solve on its own operator bit for bit (modulo the operator evaluation
+// itself when a delta is attached, whose merged-sum order differs from a
+// materialized matrix). Results are scattered back to the original column
+// order on return.
 //
 // The batch runs in the operator's own index space: no CGOptions.Perm
 // analog — permuted plans need per-case scalar solves.
@@ -185,38 +283,46 @@ func BatchCG(a MultiOperator, b []float64, k int, opts BatchCGOptions) (BatchCGR
 	}
 	work.resize(n, k)
 
-	var base func(y, x []float64)
+	nnz := a.NNZ()
+	var pool *Pool
+	var bounds []int
 	if opts.Pool != nil {
 		parts := opts.Pool.Workers()
 		if parts > n {
 			parts = n
 		}
-		if parts > 1 && a.NNZ()*k >= parallelNNZThreshold {
-			pool, bounds := opts.Pool, work.partition(a, parts)
-			base = func(y, x []float64) { a.mulMultiVecRanges(y, x, k, pool, bounds) }
-		} else {
-			base = func(y, x []float64) { a.MulMultiVec(y, x, k) }
+		if parts > 1 && nnz*k >= parallelNNZThreshold {
+			pool, bounds = opts.Pool, work.partition(a, parts)
 		}
-	} else {
-		workers := opts.Workers
-		base = func(y, x []float64) { a.MulMultiVecParallel(y, x, k, workers) }
 	}
-	mulVec := base
-	if opts.Deltas != nil {
-		mulVec = func(y, x []float64) {
-			base(y, x)
-			for c, d := range opts.Deltas {
-				if d != nil {
-					d.ApplyColumn(y, x, k, c)
-				}
+	width := k
+	deltas := opts.Deltas
+	// mulVec re-evaluates the kernel path at the current width: a batch
+	// that starts above parallelNNZThreshold can compact below it, where
+	// the serial pass wins. The cached row partition does not depend on
+	// the width, so the pooled path needs no re-setup.
+	mulVec := func(y, x []float64) {
+		switch {
+		case pool != nil && nnz*width >= parallelNNZThreshold:
+			a.mulMultiVecRanges(y, x, width, pool, bounds)
+		case opts.Pool != nil:
+			a.MulMultiVec(y, x, width)
+		default:
+			a.MulMultiVecParallel(y, x, width, opts.Workers)
+		}
+		for l, d := range deltas {
+			if d != nil {
+				d.ApplyColumn(y, x, width, l)
 			}
 		}
 	}
 
-	x, r, z, p, ap := work.x, work.r, work.z, work.p, work.ap
+	nk := n * k
+	x, r, z, p, ap := work.x[:nk], work.r[:nk], work.z[:nk], work.p[:nk], work.ap[:nk]
 	rr, rz, bnorm := work.rr, work.rz, work.bnorm
 	alpha, scr := work.alpha, work.scr
-	active, res := work.active, work.cols
+	active, lanes, res := work.active, work.lanes, work.cols
+	matVecs, compactedMatVecs, compactions := 0, 0, 0
 
 	for i := range x {
 		x[i] = 0
@@ -246,37 +352,40 @@ func BatchCG(a MultiOperator, b []float64, k int, opts BatchCGOptions) (BatchCGR
 		if len(opts.X0) != n*k {
 			return BatchCGResult{}, fmt.Errorf("sparse: BatchCG x0 length %d != %d·%d", len(opts.X0), n, k)
 		}
-		copy(x, opts.X0)
-		// Drained (zero-rhs) columns keep the exact zero solution.
-		for c := 0; c < k; c++ {
-			if !active[c] {
-				for i := 0; i < n; i++ {
-					x[i*k+c] = 0
+		if !allStrictZero(opts.X0) {
+			copy(x, opts.X0)
+			// Drained (zero-rhs) columns keep the exact zero solution.
+			for c := 0; c < k; c++ {
+				if !active[c] {
+					for i := 0; i < n; i++ {
+						x[i*k+c] = 0
+					}
 				}
 			}
-		}
-		mulVec(ap, x)
-		warm := scr
-		for c := 0; c < k; c++ {
-			warm[c] = 0
-		}
-		for i := 0; i < n; i++ {
-			off := i * k
-			for _, c := range work.actIdx {
-				ri := b[off+c] - ap[off+c]
-				r[off+c] = ri
-				warm[c] += ri * ri
+			mulVec(ap, x)
+			matVecs++
+			warm := scr
+			for c := 0; c < k; c++ {
+				warm[c] = 0
 			}
-		}
-		for _, c := range work.actIdx {
-			if warm[c] <= warmStartGate*rr[c] {
-				rr[c] = warm[c]
-			} else {
-				// Not clearly better than the zero vector — cold start
-				// this column, exactly as scalar CG would.
-				for i := 0; i < n; i++ {
-					x[i*k+c] = 0
-					r[i*k+c] = b[i*k+c]
+			for i := 0; i < n; i++ {
+				off := i * k
+				for _, c := range work.actIdx {
+					ri := b[off+c] - ap[off+c]
+					r[off+c] = ri
+					warm[c] += ri * ri
+				}
+			}
+			for _, c := range work.actIdx {
+				if warm[c] <= warmStartGate*rr[c] {
+					rr[c] = warm[c]
+				} else {
+					// Not clearly better than the zero vector — cold start
+					// this column, exactly as scalar CG would.
+					for i := 0; i < n; i++ {
+						x[i*k+c] = 0
+						r[i*k+c] = b[i*k+c]
+					}
 				}
 			}
 		}
@@ -296,12 +405,13 @@ func BatchCG(a MultiOperator, b []float64, k int, opts BatchCGOptions) (BatchCGR
 
 	for kIter := 0; kIter < maxIter; kIter++ {
 		drained := false
-		for _, c := range work.actIdx {
-			res[c].Residual = math.Sqrt(rr[c]) / bnorm[c]
+		for _, l := range work.actIdx {
+			c := lanes[l]
+			res[c].Residual = math.Sqrt(rr[l]) / bnorm[l]
 			res[c].Iterations = kIter
 			if res[c].Residual <= tol {
 				res[c].Converged = true
-				active[c] = false
+				active[l] = false
 				drained = true
 			}
 		}
@@ -311,40 +421,72 @@ func BatchCG(a MultiOperator, b []float64, k int, opts BatchCGOptions) (BatchCGR
 		if len(work.actIdx) == 0 {
 			break
 		}
+		// Width compaction: once the live lanes fit in half the block
+		// (and enough would retire to beat the repack cost), narrow the
+		// shared mat-vec to the live width. The per-lane delta slots and
+		// per-column diagonals are gathered against the pre-repack lane
+		// list; neither the caller's Deltas slice nor its preconditioner
+		// is mutated.
+		if na := len(work.actIdx); !opts.NoCompact && na <= (width+1)/2 && width-na >= batchCompactMinDrop {
+			if deltas != nil {
+				if cap(work.cdeltas) < k {
+					work.cdeltas = make([]*GainDelta, k)
+				}
+				cd := work.cdeltas[:na]
+				for c2, l := range work.actIdx {
+					cd[c2] = deltas[l]
+				}
+				deltas = cd
+			}
+			if bj, ok := pre.(*BatchJacobi); ok {
+				bj.gatherColumns(&work.cbj, work.actIdx)
+				pre = &work.cbj
+			}
+			width = work.compact(n, k, width)
+			nw := n * width
+			x, r, z, p, ap = work.x[:nw], work.r[:nw], work.z[:nw], work.p[:nw], work.ap[:nw]
+			active, lanes = work.active, work.lanes
+			compactions++
+		}
 		mulVec(ap, p)
-		allActive := len(work.actIdx) == k
+		matVecs++
+		if width < k {
+			compactedMatVecs++
+		}
+		allActive := len(work.actIdx) == width
 		pap := scr
-		for _, c := range work.actIdx {
-			pap[c] = 0
+		for _, l := range work.actIdx {
+			pap[l] = 0
 		}
 		if allActive {
-			// Full-width rounds (the common case before any column drains)
-			// run contiguous bounds-check-free passes; per-column arithmetic
-			// order is identical to the indexed path below.
+			// Full-width rounds (the common case before any lane drains,
+			// and again right after a compaction) run contiguous
+			// bounds-check-free passes; per-column arithmetic order is
+			// identical to the indexed path below.
 			for i := 0; i < n; i++ {
-				off := i * k
-				pi, api := p[off:off+k:off+k], ap[off:off+k:off+k]
-				for c := range pi {
-					pap[c] += pi[c] * api[c]
+				off := i * width
+				pi, api := p[off:off+width:off+width], ap[off:off+width:off+width]
+				for l := range pi {
+					pap[l] += pi[l] * api[l]
 				}
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				off := i * k
-				for _, c := range work.actIdx {
-					pap[c] += p[off+c] * ap[off+c]
+				off := i * width
+				for _, l := range work.actIdx {
+					pap[l] += p[off+l] * ap[off+l]
 				}
 			}
 		}
 		drained = false
-		for _, c := range work.actIdx {
-			if pap[c] <= 0 {
-				res[c].Err = ErrNotSPD
-				active[c] = false
+		for _, l := range work.actIdx {
+			if pap[l] <= 0 {
+				res[lanes[l]].Err = ErrNotSPD
+				active[l] = false
 				drained = true
 				continue
 			}
-			alpha[c] = rz[c] / pap[c]
+			alpha[l] = rz[l] / pap[l]
 		}
 		if drained {
 			work.rebuildActive()
@@ -353,82 +495,103 @@ func BatchCG(a MultiOperator, b []float64, k int, opts BatchCGOptions) (BatchCGR
 			}
 			allActive = false
 		}
-		for _, c := range work.actIdx {
-			rr[c] = 0
+		for _, l := range work.actIdx {
+			rr[l] = 0
 		}
 		if allActive {
 			for i := 0; i < n; i++ {
-				off := i * k
-				xi, ri, pi, api := x[off:off+k:off+k], r[off:off+k:off+k], p[off:off+k:off+k], ap[off:off+k:off+k]
-				for c := range pi {
-					xi[c] += alpha[c] * pi[c]
-					rc := ri[c] - alpha[c]*api[c]
-					ri[c] = rc
-					rr[c] += rc * rc
+				off := i * width
+				xi, ri, pi, api := x[off:off+width:off+width], r[off:off+width:off+width], p[off:off+width:off+width], ap[off:off+width:off+width]
+				for l := range pi {
+					xi[l] += alpha[l] * pi[l]
+					rc := ri[l] - alpha[l]*api[l]
+					ri[l] = rc
+					rr[l] += rc * rc
 				}
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				off := i * k
-				for _, c := range work.actIdx {
-					x[off+c] += alpha[c] * p[off+c]
-					ri := r[off+c] - alpha[c]*ap[off+c]
-					r[off+c] = ri
-					rr[c] += ri * ri
+				off := i * width
+				for _, l := range work.actIdx {
+					x[off+l] += alpha[l] * p[off+l]
+					ri := r[off+l] - alpha[l]*ap[off+l]
+					r[off+l] = ri
+					rr[l] += ri * ri
 				}
 			}
 		}
-		pre.ApplyBatch(z, r, k)
-		for _, c := range work.actIdx {
-			scr[c] = 0
+		pre.ApplyBatch(z, r, width)
+		for _, l := range work.actIdx {
+			scr[l] = 0
 		}
 		if allActive {
 			for i := 0; i < n; i++ {
-				off := i * k
-				ri, zi := r[off:off+k:off+k], z[off:off+k:off+k]
-				for c := range ri {
-					scr[c] += ri[c] * zi[c]
+				off := i * width
+				ri, zi := r[off:off+width:off+width], z[off:off+width:off+width]
+				for l := range ri {
+					scr[l] += ri[l] * zi[l]
 				}
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				off := i * k
-				for _, c := range work.actIdx {
-					scr[c] += r[off+c] * z[off+c]
+				off := i * width
+				for _, l := range work.actIdx {
+					scr[l] += r[off+l] * z[off+l]
 				}
 			}
 		}
-		for _, c := range work.actIdx {
-			beta := scr[c] / rz[c]
-			rz[c] = scr[c]
-			alpha[c] = beta // reuse as the p-update coefficient
+		for _, l := range work.actIdx {
+			beta := scr[l] / rz[l]
+			rz[l] = scr[l]
+			alpha[l] = beta // reuse as the p-update coefficient
 		}
 		if allActive {
 			for i := 0; i < n; i++ {
-				off := i * k
-				pi, zi := p[off:off+k:off+k], z[off:off+k:off+k]
-				for c := range pi {
-					pi[c] = zi[c] + alpha[c]*pi[c]
+				off := i * width
+				pi, zi := p[off:off+width:off+width], z[off:off+width:off+width]
+				for l := range pi {
+					pi[l] = zi[l] + alpha[l]*pi[l]
 				}
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				off := i * k
-				for _, c := range work.actIdx {
-					p[off+c] = z[off+c] + alpha[c]*p[off+c]
+				off := i * width
+				for _, l := range work.actIdx {
+					p[off+l] = z[off+l] + alpha[l]*p[off+l]
 				}
 			}
 		}
 	}
-	for _, c := range work.actIdx {
+	for _, l := range work.actIdx {
+		c := lanes[l]
 		res[c].Iterations = maxIter
-		res[c].Residual = math.Sqrt(rr[c]) / bnorm[c]
+		res[c].Residual = math.Sqrt(rr[l]) / bnorm[l]
 		res[c].Converged = res[c].Residual <= tol
 		if !res[c].Converged {
 			res[c].Err = ErrCGDiverged
 		}
-		active[c] = false
+		active[l] = false
 	}
 	work.rebuildActive()
-	return BatchCGResult{X: x, Cols: res}, nil
+	xres := x
+	if compactions > 0 {
+		// Scatter the surviving lanes back to original column order;
+		// lanes dropped earlier were snapshotted at their compaction, so
+		// together the writes cover every column exactly once.
+		xout := work.xout
+		for i := 0; i < n; i++ {
+			srcOff, dstOff := i*width, i*k
+			for l := 0; l < width; l++ {
+				xout[dstOff+lanes[l]] = x[srcOff+l]
+			}
+		}
+		xres = xout[:nk]
+	}
+	return BatchCGResult{
+		X:                xres,
+		Cols:             res,
+		Compactions:      compactions,
+		MatVecs:          matVecs,
+		CompactedMatVecs: compactedMatVecs,
+	}, nil
 }

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -322,6 +323,249 @@ func TestBatchPrecondAppliesMatchScalar(t *testing.T) {
 	bad := make([]float64, n)
 	if err := bj.SetColumn(0, bad); err == nil {
 		t.Fatal("SetColumn accepted a zero diagonal")
+	}
+}
+
+// staggeredX0 builds per-column warm starts of staggered quality: column 0
+// stays cold, column c >= 1 is pre-solved to tolerance 10^-(c+1). Every
+// warm column clears the 1% warm-start gate, so the batch drains one column
+// after another across well-separated iteration counts — the compaction
+// policy's target workload.
+func staggeredX0(t *testing.T, a Operator, pre func(c int) Preconditioner, cols [][]float64) [][]float64 {
+	t.Helper()
+	n := len(cols[0])
+	x0cols := make([][]float64, len(cols))
+	for c := range x0cols {
+		x0cols[c] = make([]float64, n)
+		if c == 0 {
+			continue
+		}
+		tol := math.Pow(10, -float64(c+1))
+		warm, err := CG(a, cols[c], CGOptions{Tol: tol, Precond: pre(c), Workers: 1})
+		if err != nil {
+			t.Fatalf("pre-solve col %d: %v", c, err)
+		}
+		copy(x0cols[c], warm.X)
+	}
+	return x0cols
+}
+
+// TestBatchCGStaggeredDrainCompaction is the compaction acceptance test:
+// a batch whose columns drain at staggered iterations must repack at least
+// once, run narrowed mat-vecs, and still reproduce both the never-compacted
+// batch and the independent scalar solves bit for bit — same solutions,
+// same per-column iteration counts, same shared-pass count. Covered under a
+// per-column-diagonal Jacobi and under a shared IC0 factor (whose
+// interleaved triangular solves must survive the width change).
+func TestBatchCGStaggeredDrainCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	n := 60
+	a := randomSPD(rng, n)
+	jac, err := NewJacobi(a)
+	if err != nil {
+		t.Fatalf("NewJacobi: %v", err)
+	}
+	ic0, err := NewIC0(a)
+	if err != nil {
+		t.Fatalf("NewIC0: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		pre  interface {
+			Preconditioner
+			BatchPreconditioner
+		}
+	}{{"jacobi", jac}, {"ic0", ic0}} {
+		t.Run(tc.name, func(t *testing.T) {
+			const k = 8
+			cols := randomCols(rng, n, k)
+			x0cols := staggeredX0(t, a, func(int) Preconditioner { return tc.pre }, cols)
+			b, x0 := interleave(cols), interleave(x0cols)
+
+			opts := BatchCGOptions{Tol: 1e-11, Precond: tc.pre, Workers: 1, X0: x0,
+				Work: NewBatchCGWorkspace(n, k)}
+			res, err := BatchCG(a, b, k, opts)
+			if err != nil {
+				t.Fatalf("BatchCG: %v", err)
+			}
+			if res.Compactions < 1 || res.CompactedMatVecs == 0 {
+				t.Fatalf("staggered drain never compacted: %d repacks, %d/%d narrow mat-vecs",
+					res.Compactions, res.CompactedMatVecs, res.MatVecs)
+			}
+			nopts := opts
+			nopts.NoCompact, nopts.Work = true, nil
+			noc, err := BatchCG(a, b, k, nopts)
+			if err != nil {
+				t.Fatalf("BatchCG NoCompact: %v", err)
+			}
+			if noc.Compactions != 0 || noc.CompactedMatVecs != 0 {
+				t.Fatalf("NoCompact run compacted: %d repacks, %d narrow mat-vecs",
+					noc.Compactions, noc.CompactedMatVecs)
+			}
+			if noc.MatVecs != res.MatVecs {
+				t.Fatalf("compaction changed the shared-pass count: %d vs %d", res.MatVecs, noc.MatVecs)
+			}
+			for c := 0; c < k; c++ {
+				sres, serr := CG(a, cols[c], CGOptions{Tol: 1e-11, Precond: tc.pre, Workers: 1, X0: x0cols[c]})
+				if serr != nil {
+					t.Fatalf("scalar CG col %d: %v", c, serr)
+				}
+				bc, nc := res.Cols[c], noc.Cols[c]
+				if bc.Err != nil || !bc.Converged {
+					t.Fatalf("col %d: err=%v converged=%v", c, bc.Err, bc.Converged)
+				}
+				if bc.Iterations != sres.Iterations || nc.Iterations != sres.Iterations {
+					t.Fatalf("col %d iterations: compacted %d, full-width %d, scalar %d",
+						c, bc.Iterations, nc.Iterations, sres.Iterations)
+				}
+				for i := 0; i < n; i++ {
+					if res.X[i*k+c] != sres.X[i] {
+						t.Fatalf("compacted col %d x[%d] = %v, scalar %v", c, i, res.X[i*k+c], sres.X[i])
+					}
+					if noc.X[i*k+c] != sres.X[i] {
+						t.Fatalf("full-width col %d x[%d] = %v, scalar %v", c, i, noc.X[i*k+c], sres.X[i])
+					}
+				}
+			}
+			if res.Cols[k-1].Iterations >= res.Cols[0].Iterations {
+				t.Fatalf("fixture lost its stagger: col %d took %d iterations, col 0 took %d",
+					k-1, res.Cols[k-1].Iterations, res.Cols[0].Iterations)
+			}
+		})
+	}
+}
+
+// staggeredDeltaBatch is an outage-style compaction fixture: shared base
+// gain, a mix of delta-patched and pure-base columns with per-column Jacobi
+// diagonals, and staggered-quality warm starts so the solve compacts.
+type staggeredDeltaBatch struct {
+	gBase     *CSR
+	deltas    []*GainDelta
+	bj        *BatchJacobi
+	scalarPre []*JacobiPreconditioner
+	cols      [][]float64
+	x0cols    [][]float64
+	b, x0     []float64
+	n, k      int
+}
+
+func newStaggeredDeltaBatch(t *testing.T, seed int64) *staggeredDeltaBatch {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const nState, k = 40, 6
+	h, w1 := outageFixture(rng, nState, 60)
+	h1 := CopyVec(h.Val)
+	plan := NewGainPlan(h)
+	f := &staggeredDeltaBatch{
+		gBase:     plan.Refresh(h, w1).Clone(),
+		deltas:    make([]*GainDelta, k),
+		bj:        NewBatchJacobi(nState, k),
+		scalarPre: make([]*JacobiPreconditioner, k),
+		n:         nState,
+		k:         k,
+	}
+	baseDiag := make([]float64, nState)
+	f.gBase.DiagonalInto(baseDiag)
+	for c := 0; c < k; c++ {
+		diag := CopyVec(baseDiag)
+		if c%3 != 1 { // mix patched columns with pure-base riders
+			rows := []int{c, nState + 3*c, nState + 3*c + 1}
+			h2, w2 := perturbRows(rng, h, h1, w1, rows)
+			f.deltas[c] = plan.DeltaScatter(rows)
+			f.deltas[c].Refresh(h1, w1, h2, w2)
+			f.deltas[c].AddDiag(diag)
+		}
+		if err := f.bj.SetColumn(c, diag); err != nil {
+			t.Fatalf("SetColumn %d: %v", c, err)
+		}
+		f.scalarPre[c] = diagJacobi(t, diag)
+	}
+	f.cols = randomCols(rng, nState, k)
+	f.x0cols = make([][]float64, k)
+	for c := range f.x0cols {
+		f.x0cols[c] = make([]float64, nState)
+		if c == 0 {
+			continue
+		}
+		tol := math.Pow(10, -float64(c+1))
+		warm, err := CG(deltaOp{base: f.gBase, d: f.deltas[c]}, f.cols[c],
+			CGOptions{Tol: tol, Precond: f.scalarPre[c], Workers: 1})
+		if err != nil {
+			t.Fatalf("pre-solve col %d: %v", c, err)
+		}
+		copy(f.x0cols[c], warm.X)
+	}
+	f.b, f.x0 = interleave(f.cols), interleave(f.x0cols)
+	return f
+}
+
+// TestBatchCGStaggeredDeltaCompaction drives compaction through the
+// gather paths: per-lane delta slots and per-column Jacobi diagonals must
+// follow the surviving lanes into the narrowed block without mutating the
+// caller's Deltas slice or preconditioner, and every column must still
+// replay its scalar solve bit for bit.
+func TestBatchCGStaggeredDeltaCompaction(t *testing.T) {
+	f := newStaggeredDeltaBatch(t, 516)
+	work := NewBatchCGWorkspace(f.n, f.k)
+	res, err := BatchCG(f.gBase, f.b, f.k, BatchCGOptions{
+		Tol: 1e-11, Precond: f.bj, Deltas: f.deltas, Workers: 1, X0: f.x0, Work: work})
+	if err != nil {
+		t.Fatalf("BatchCG: %v", err)
+	}
+	if res.Compactions < 1 || res.CompactedMatVecs == 0 {
+		t.Fatalf("delta batch never compacted: %d repacks, %d/%d narrow mat-vecs",
+			res.Compactions, res.CompactedMatVecs, res.MatVecs)
+	}
+	for c := 0; c < f.k; c++ {
+		sres, serr := CG(deltaOp{base: f.gBase, d: f.deltas[c]}, f.cols[c],
+			CGOptions{Tol: 1e-11, Precond: f.scalarPre[c], Workers: 1, X0: f.x0cols[c]})
+		if serr != nil {
+			t.Fatalf("scalar CG col %d: %v", c, serr)
+		}
+		bc := res.Cols[c]
+		if bc.Err != nil || !bc.Converged || bc.Iterations != sres.Iterations {
+			t.Fatalf("col %d: err=%v converged=%v iters=%d (scalar %d)",
+				c, bc.Err, bc.Converged, bc.Iterations, sres.Iterations)
+		}
+		for i := 0; i < f.n; i++ {
+			if res.X[i*f.k+c] != sres.X[i] {
+				t.Fatalf("col %d x[%d] = %v, scalar %v", c, i, res.X[i*f.k+c], sres.X[i])
+			}
+		}
+	}
+	// The caller's preconditioner must still be full width: ApplyBatch
+	// panics on a width mismatch if the solve narrowed it in place.
+	z := make([]float64, f.n*f.k)
+	f.bj.ApplyBatch(z, f.b, f.k)
+	for c, d := range f.deltas {
+		if (d == nil) != (c%3 == 1) {
+			t.Fatalf("caller's delta slot %d was rearranged", c)
+		}
+	}
+}
+
+// TestBatchCGCompactedReuseAllocs pins the steady state: once a workspace
+// has served one compacting solve (growing its repack buffers), repeated
+// identical solves — gathers, repacks, and scatter included — allocate
+// nothing.
+func TestBatchCGCompactedReuseAllocs(t *testing.T) {
+	f := newStaggeredDeltaBatch(t, 517)
+	work := NewBatchCGWorkspace(f.n, f.k)
+	opts := BatchCGOptions{Tol: 1e-11, Precond: f.bj, Deltas: f.deltas, Workers: 1, X0: f.x0, Work: work}
+	res, err := BatchCG(f.gBase, f.b, f.k, opts)
+	if err != nil {
+		t.Fatalf("BatchCG: %v", err)
+	}
+	if res.Compactions == 0 {
+		t.Fatal("priming solve never compacted; fixture does not cover the repack path")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := BatchCG(f.gBase, f.b, f.k, opts); err != nil {
+			t.Errorf("BatchCG: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("compacted solve allocated %.1f times per run on a reused workspace", allocs)
 	}
 }
 

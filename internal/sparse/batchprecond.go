@@ -141,6 +141,31 @@ func (p *BatchJacobi) SetColumn(c int, diag []float64) error {
 	return nil
 }
 
+// gatherColumns writes the preconditioner restricted to the given source
+// lanes into dst (new width len(srcLanes)), reusing dst's storage when it
+// is large enough. dst may be p itself (in-place narrowing): srcLanes is
+// ascending, so every destination index i·ka+c2 stays at or before its
+// source index i·k+l and no unread entry is clobbered. BatchCG uses this
+// to narrow a per-column Jacobi when it compacts drained batch lanes.
+func (p *BatchJacobi) gatherColumns(dst *BatchJacobi, srcLanes []int) {
+	ka := len(srcLanes)
+	src, srcK := p.invDiag, p.k
+	n := len(src) / srcK
+	need := n * ka
+	if cap(dst.invDiag) < need {
+		dst.invDiag = make([]float64, need)
+	}
+	out := dst.invDiag[:need]
+	for i := 0; i < n; i++ {
+		srcOff, dstOff := i*srcK, i*ka
+		for c2, l := range srcLanes {
+			out[dstOff+c2] = src[srcOff+l]
+		}
+	}
+	dst.invDiag = out
+	dst.k = ka
+}
+
 // ApplyBatch implements BatchPreconditioner.
 func (p *BatchJacobi) ApplyBatch(z, r []float64, k int) {
 	if k != p.k {

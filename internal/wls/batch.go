@@ -206,11 +206,31 @@ func (b *BatchEngine) InvalidateAnchor() {
 	b.epoch++
 }
 
+// BatchStats aggregates the batched inner-solver activity of one
+// SolveBatch call across its lagged-GN rounds.
+type BatchStats struct {
+	// Compactions counts BatchCG width repacks across all rounds.
+	Compactions int
+	// MatVecs and CompactedMatVecs count the shared-operator passes and
+	// those that ran below the original batch width; their ratio is the
+	// compacted-iteration fraction of the batched solve.
+	MatVecs          int
+	CompactedMatVecs int
+}
+
+func (s *BatchStats) add(res sparse.BatchCGResult) {
+	s.Compactions += res.Compactions
+	s.MatVecs += res.MatVecs
+	s.CompactedMatVecs += res.CompactedMatVecs
+}
+
 // SolveBatch runs every case to the EstimateCtx contract: eligible cases go
 // through the lockstep batched lagged-GN solve, the rest (and any case a
 // guard trips mid-flight) re-run the ordinary scalar path from their
-// original warm start. opts.X0 is ignored — warm starts are per-case.
-func (b *BatchEngine) SolveBatch(ctx context.Context, cases []*BatchCase, opts Options) {
+// original warm start. opts.X0 is ignored — warm starts are per-case. The
+// returned stats cover only the lockstep rounds of this call.
+func (b *BatchEngine) SolveBatch(ctx context.Context, cases []*BatchCase, opts Options) BatchStats {
+	var stats BatchStats
 	for _, ce := range cases {
 		ce.Res, ce.Err, ce.Fallback = nil, nil, false
 		ce.eligible = false
@@ -219,7 +239,7 @@ func (b *BatchEngine) SolveBatch(ctx context.Context, cases []*BatchCase, opts O
 		for _, ce := range cases {
 			b.fallback(ctx, ce, opts)
 		}
-		return
+		return stats
 	}
 	scr := b.scratch.Get().(*batchScratch)
 	defer b.scratch.Put(scr)
@@ -234,9 +254,9 @@ func (b *BatchEngine) SolveBatch(ctx context.Context, cases []*BatchCase, opts O
 		}
 	}
 	if len(elig) == 0 {
-		return
+		return stats
 	}
-	b.lockstep(ctx, elig, opts, scr)
+	b.lockstep(ctx, elig, opts, scr, &stats)
 	for _, ce := range elig {
 		if ce.done && !ce.failed {
 			res := &Result{
@@ -257,6 +277,7 @@ func (b *BatchEngine) SolveBatch(ctx context.Context, cases []*BatchCase, opts O
 		// decides the case from the original warm start.
 		b.fallback(ctx, ce, opts)
 	}
+	return stats
 }
 
 // fallback runs the ordinary scalar path for one case with its own warm
@@ -400,7 +421,7 @@ func (b *BatchEngine) buildDelta(ce *BatchCase, scr *batchScratch) bool {
 // accepted step passes the scalar ReuseGain guard (CG converged and the
 // trial iterate does not increase J). Converged and failed cases keep zero
 // columns, which drain at CG setup for free.
-func (b *BatchEngine) lockstep(ctx context.Context, elig []*BatchCase, opts Options, scr *batchScratch) {
+func (b *BatchEngine) lockstep(ctx context.Context, elig []*BatchCase, opts Options, scr *batchScratch, stats *BatchStats) {
 	n := b.base.mod.NState()
 	k := len(elig)
 	tol := opts.Tol
@@ -421,7 +442,13 @@ func (b *BatchEngine) lockstep(ctx context.Context, elig []*BatchCase, opts Opti
 	for _, ce := range elig {
 		scr.deltas = append(scr.deltas, ce.delta)
 	}
-	cgOpts := sparse.BatchCGOptions{Tol: cgTol, Deltas: scr.deltas, X0: scr.x0, Work: scr.work}
+	cgOpts := sparse.BatchCGOptions{
+		Tol:       cgTol,
+		Deltas:    scr.deltas,
+		X0:        scr.x0,
+		Work:      scr.work,
+		NoCompact: opts.NoBatchCompact,
+	}
 	if opts.Workers > 0 {
 		cgOpts.Workers = opts.Workers
 	} else {
@@ -502,6 +529,9 @@ func (b *BatchEngine) lockstep(ctx context.Context, elig []*BatchCase, opts Opti
 			return
 		}
 		res, err := sparse.BatchCG(b.gplan.G, scr.rhs, k, cgOpts)
+		if err == nil {
+			stats.add(res)
+		}
 		if err != nil {
 			for _, ce := range elig {
 				if !ce.done && !ce.failed {

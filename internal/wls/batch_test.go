@@ -112,7 +112,7 @@ func TestBatchEngineMatchesScalar(t *testing.T) {
 			X0:      sparse.CopyVec(anchorRes.X),
 		})
 	}
-	be.SolveBatch(context.Background(), bcs, opts)
+	bst := be.SolveBatch(context.Background(), bcs, opts)
 
 	batched := 0
 	for i, bc := range bcs {
@@ -137,7 +137,13 @@ func TestBatchEngineMatchesScalar(t *testing.T) {
 	if batched == 0 {
 		t.Fatal("every case fell back to the scalar path (batch never engaged)")
 	}
-	t.Logf("batched %d/%d cases", batched, len(bcs))
+	if bst.MatVecs == 0 {
+		t.Fatalf("batched sweep reported no shared operator passes: %+v", bst)
+	}
+	if bst.CompactedMatVecs > bst.MatVecs {
+		t.Fatalf("compacted passes exceed total passes: %+v", bst)
+	}
+	t.Logf("batched %d/%d cases, stats %+v", batched, len(bcs), bst)
 
 	// A second sweep reuses the cached deltas (epoch unchanged) and must
 	// reproduce the same estimates.
